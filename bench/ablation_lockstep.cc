@@ -1,0 +1,37 @@
+// Ablation: ring-buffer capacity vs performance vs attack window. The
+// design-choice behind selective lockstep (§3.3): a larger ring lets the
+// leader run further ahead (faster) but widens the syscall-distance window.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Ablation: selective-lockstep ring capacity",
+                     "larger rings trade attack-window size for throughput");
+
+  Table table({"ring capacity", "avg overhead", "avg syscall gap", "max gap"});
+  for (size_t capacity : {size_t{2}, size_t{8}, size_t{32}, size_t{64}, size_t{256}}) {
+    std::vector<double> overheads;
+    std::vector<double> gaps;
+    uint64_t max_gap = 0;
+    for (const auto& spec : workload::Spec2006()) {
+      nxe::EngineConfig config;
+      config.mode = nxe::LockstepMode::kSelective;
+      config.ring_capacity = capacity;
+      config.cache_sensitivity = spec.cache_sensitivity;
+      nxe::Engine engine(config);
+      auto variants = workload::BuildIdenticalVariants(spec, 3, 51);
+      const double baseline = engine.RunBaseline(variants[0]);
+      auto report = engine.Run(variants);
+      if (!report.ok() || !report->completed) {
+        continue;
+      }
+      overheads.push_back(report->OverheadVs(baseline));
+      gaps.push_back(report->avg_syscall_gap);
+      max_gap = std::max(max_gap, report->max_syscall_gap);
+    }
+    table.AddRow({std::to_string(capacity), Table::Pct(Mean(overheads)),
+                  Table::Num(Mean(gaps), 2), std::to_string(max_gap)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Appendix A ablation: partition algorithm quality on real distribution
+// inputs. Appendix A.4 defines the quality metric (max bin vs O_total/N) and
+// motivates the paper's choice of a polynomial near-optimal scheme over the
+// exponential exact solver.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/partition/partition.h"
+#include "src/workload/funcprofile.h"
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Appendix A: partition algorithm ablation",
+                     "balance ratio (1.0 = theoretical optimum O_total/N) and runtime");
+
+  const std::vector<partition::Algorithm> algorithms = {
+      partition::Algorithm::kGreedyLpt, partition::Algorithm::kKarmarkarKarp,
+      partition::Algorithm::kCompleteGreedy, partition::Algorithm::kFptasSubsetSum};
+
+  Table table({"input", "N", "algorithm", "balance ratio", "time (us)"});
+  // Input 1: per-function ASan deltas of a big program (check distribution).
+  const auto* gcc_bench = workload::FindBenchmark("gcc");
+  const auto profile = workload::SynthesizeFunctionProfile(*gcc_bench, san::SanitizerId::kASan, 3);
+  const std::vector<double> func_weights = profile.DistributableWeights();
+  // Input 2: the 19 UBSan sub-sanitizer overheads (sanitizer distribution).
+  std::vector<double> sub_weights;
+  for (const auto& sub : san::UBSanSubSanitizers()) {
+    sub_weights.push_back(sub.mean_overhead);
+  }
+
+  struct Input {
+    const char* name;
+    const std::vector<double>* weights;
+  };
+  for (const Input& input : {Input{"gcc ASan functions (2100 items)", &func_weights},
+                             Input{"UBSan sub-sanitizers (19 items)", &sub_weights}}) {
+    for (size_t n : {2, 3, 4}) {
+      for (auto algorithm : algorithms) {
+        partition::PartitionOptions options;
+        options.algorithm = algorithm;
+        const auto start = std::chrono::steady_clock::now();
+        auto result = partition::Partition(*input.weights, n, options);
+        const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        if (!result.ok()) {
+          continue;
+        }
+        table.AddRow({input.name, std::to_string(n), partition::AlgorithmName(algorithm),
+                      Table::Num(result->balance_ratio, 4), std::to_string(micros)});
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+#ifndef BUNSHIN_BENCH_BENCH_UTIL_H_
+#define BUNSHIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/nxe/engine.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace bench {
+
+// Overhead of synchronizing `n` identical clones of `bench` under `mode`.
+inline double NxeOverhead(const workload::BenchmarkSpec& bench, size_t n,
+                          nxe::LockstepMode mode, uint64_t seed, int cores = 4,
+                          double background_load = 0.02) {
+  nxe::EngineConfig config;
+  config.mode = mode;
+  config.cache_sensitivity = bench.cache_sensitivity;
+  config.cost.cores = cores;
+  config.cost.background_load = background_load;
+  nxe::Engine engine(config);
+  auto variants = workload::BuildIdenticalVariants(bench, n, seed);
+  const double baseline = engine.RunBaseline(variants[0]);
+  auto report = engine.Run(variants);
+  if (!report.ok() || !report->completed) {
+    std::fprintf(stderr, "engine failed on %s: %s\n", bench.name.c_str(),
+                 report.ok() ? "incident" : report.status().ToString().c_str());
+    return -1.0;
+  }
+  return report->OverheadVs(baseline);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_reference) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Paper reference: %s\n\n", paper_reference.c_str());
+}
+
+}  // namespace bench
+}  // namespace bunshin
+
+#endif  // BUNSHIN_BENCH_BENCH_UTIL_H_

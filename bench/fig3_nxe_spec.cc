@@ -1,0 +1,23 @@
+// Figure 3: NXE efficiency on SPEC2006, 3 identical variants, strict vs
+// selective lockstep. Paper: averages 8.1% (strict) and 5.3% (selective).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Figure 3: NXE efficiency, SPEC2006 (3 variants)",
+                     "avg strict 8.1%, avg selective 5.3%; per-program <= ~16%");
+
+  Table table({"benchmark", "strict", "selective"});
+  std::vector<double> strict_all;
+  std::vector<double> selective_all;
+  for (const auto& spec : workload::Spec2006()) {
+    const double strict = bench::NxeOverhead(spec, 3, nxe::LockstepMode::kStrict, 42);
+    const double selective = bench::NxeOverhead(spec, 3, nxe::LockstepMode::kSelective, 42);
+    strict_all.push_back(strict);
+    selective_all.push_back(selective);
+    table.AddRow({spec.name, Table::Pct(strict), Table::Pct(selective)});
+  }
+  table.AddRow({"Average", Table::Pct(Mean(strict_all)), Table::Pct(Mean(selective_all))});
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 5: scalability in the number of synchronized variants (12-core
+// machine, 2/4/6/8 variants). Paper: average overhead grows 0.9% -> 21%,
+// driven primarily by LLC cache pressure.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Figure 5: scalability, 2-8 variants (12 cores)",
+                     "avg 0.9% (2 variants) rising to 21% (8 variants)");
+
+  const std::vector<size_t> variant_counts = {2, 4, 6, 8};
+  std::vector<std::string> headers = {"benchmark"};
+  for (size_t n : variant_counts) {
+    headers.push_back(std::to_string(n) + " variants");
+  }
+  Table table(headers);
+
+  std::vector<std::vector<double>> per_n(variant_counts.size());
+  for (const auto& spec : workload::Spec2006()) {
+    std::vector<std::string> row = {spec.name};
+    for (size_t i = 0; i < variant_counts.size(); ++i) {
+      // Selective mode on the 12-core host, as in the paper's scalability run.
+      const double overhead =
+          bench::NxeOverhead(spec, variant_counts[i], nxe::LockstepMode::kSelective, 17,
+                             /*cores=*/12);
+      per_n[i].push_back(overhead);
+      row.push_back(Table::Pct(overhead));
+    }
+    table.AddRow(row);
+  }
+  std::vector<std::string> avg_row = {"Average"};
+  for (const auto& column : per_n) {
+    avg_row.push_back(Table::Pct(Mean(column)));
+  }
+  table.AddRow(avg_row);
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

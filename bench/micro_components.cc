@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the hot components: ring buffers,
+// partitioners, the instrumentation + slicing passes, and the engine.
+#include <benchmark/benchmark.h>
+
+#include "src/ir/interp.h"
+#include "src/partition/partition.h"
+#include "src/ringbuf/ringbuf.h"
+#include "src/sanitizer/asan_pass.h"
+#include "src/slicing/slicer.h"
+#include "src/support/rng.h"
+#include "src/nxe/engine.h"
+#include "src/workload/funcprofile.h"
+#include "src/workload/tracegen.h"
+#include "tests/testutil.h"
+
+namespace bunshin {
+namespace {
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  ringbuf::SpscRing<uint64_t> ring(256);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ring.TryPush(i++);
+    uint64_t out;
+    ring.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_BroadcastRingPublishConsume(benchmark::State& state) {
+  const size_t followers = static_cast<size_t>(state.range(0));
+  ringbuf::BroadcastRing<uint64_t> ring(256, followers);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ring.TryPublish(i++);
+    uint64_t out;
+    for (size_t c = 0; c < followers; ++c) {
+      ring.TryConsume(c, &out);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BroadcastRingPublishConsume)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_Partition(benchmark::State& state) {
+  const auto algorithm = static_cast<partition::Algorithm>(state.range(0));
+  const size_t items = static_cast<size_t>(state.range(1));
+  Rng rng(7);
+  std::vector<double> weights;
+  for (size_t i = 0; i < items; ++i) {
+    weights.push_back(rng.NextExponential(10.0));
+  }
+  partition::PartitionOptions options;
+  options.algorithm = algorithm;
+  for (auto _ : state) {
+    auto result = partition::Partition(weights, 3, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Partition)
+    ->Args({0, 19})
+    ->Args({1, 19})
+    ->Args({3, 19})
+    ->Args({0, 2000})
+    ->Args({1, 2000})
+    ->Args({3, 2000});
+
+void BM_AsanInstrumentation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto module = testutil::BuildMultiFunctionProgram();
+    state.ResumeTiming();
+    san::AsanPass pass;
+    auto stats = pass.Run(module.get());
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_AsanInstrumentation);
+
+void BM_CheckRemoval(benchmark::State& state) {
+  auto instrumented = testutil::BuildMultiFunctionProgram();
+  san::AsanPass pass;
+  (void)pass.Run(instrumented.get());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto clone = instrumented->Clone();
+    state.ResumeTiming();
+    auto removed = slicing::RemoveChecksInModule(clone.get());
+    benchmark::DoNotOptimize(removed);
+  }
+}
+BENCHMARK(BM_CheckRemoval);
+
+void BM_Interpreter(benchmark::State& state) {
+  auto module = testutil::BuildMultiFunctionProgram();
+  ir::Interpreter interp(module.get());
+  for (auto _ : state) {
+    auto result = interp.Run("main", {100});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_EngineSpecRun(benchmark::State& state) {
+  const auto& bench_spec = workload::Spec2006()[1];  // bzip2
+  auto variants = workload::BuildIdenticalVariants(bench_spec, 3, 5);
+  nxe::EngineConfig config;
+  nxe::Engine engine(config);
+  for (auto _ : state) {
+    auto report = engine.Run(variants);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_EngineSpecRun);
+
+}  // namespace
+}  // namespace bunshin
+
+BENCHMARK_MAIN();

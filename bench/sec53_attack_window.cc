@@ -1,0 +1,61 @@
+// §5.3: the selective-lockstep attack window, measured as the syscall
+// distance between the leader and the slowest follower. Paper: average gap 5
+// for CPU-intensive programs (SPEC/SPLASH-2x/PARSEC) and 1 for IO-intensive
+// servers — small because IO-related syscalls stay in lockstep.
+#include "bench/bench_util.h"
+
+namespace bunshin {
+namespace {
+
+double GapFor(const std::vector<nxe::VariantTrace>& variants, double cache_sensitivity,
+              uint64_t* max_gap) {
+  nxe::EngineConfig config;
+  config.mode = nxe::LockstepMode::kSelective;
+  config.cache_sensitivity = cache_sensitivity;
+  nxe::Engine engine(config);
+  auto report = engine.Run(variants);
+  if (!report.ok() || !report->completed) {
+    return -1;
+  }
+  *max_gap = std::max(*max_gap, report->max_syscall_gap);
+  return report->avg_syscall_gap;
+}
+
+}  // namespace
+}  // namespace bunshin
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Section 5.3: selective-lockstep attack window (syscall gap)",
+                     "avg gap ~5 for CPU-intensive programs, ~1 for IO-intensive servers");
+
+  std::vector<double> cpu_gaps;
+  uint64_t cpu_max = 0;
+  for (const auto& spec : workload::Spec2006()) {
+    cpu_gaps.push_back(
+        GapFor(workload::BuildIdenticalVariants(spec, 3, 3), spec.cache_sensitivity, &cpu_max));
+  }
+  for (const auto& spec : workload::Splash2x()) {
+    cpu_gaps.push_back(
+        GapFor(workload::BuildIdenticalVariants(spec, 3, 3), spec.cache_sensitivity, &cpu_max));
+  }
+
+  std::vector<double> io_gaps;
+  uint64_t io_max = 0;
+  for (const char* server_name : {"lighttpd", "nginx"}) {
+    workload::ServerSpec server;
+    server.name = server_name;
+    server.threads = std::string(server_name) == "nginx" ? 4 : 1;
+    server.file_kb = 1;
+    io_gaps.push_back(
+        GapFor(workload::BuildIdenticalServerVariants(server, 3, 3), 1.0, &io_max));
+  }
+
+  Table table({"workload class", "avg syscall gap", "max gap"});
+  table.AddRow({"CPU-intensive (SPEC/SPLASH-2x)", Table::Num(Mean(cpu_gaps), 2),
+                std::to_string(cpu_max)});
+  table.AddRow({"IO-intensive (lighttpd/nginx)", Table::Num(Mean(io_gaps), 2),
+                std::to_string(io_max)});
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

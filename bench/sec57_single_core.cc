@@ -1,0 +1,24 @@
+// §5.7: Bunshin without spare cores — 2 variants time-sharing a single core.
+// Paper: average synchronization overhead 103.1% (the variants serialize).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Section 5.7: single-core execution (2 variants, 1 core)",
+                     "average overhead 103.1% — parallelism is required for Bunshin to pay off");
+
+  Table table({"benchmark", "overhead on 1 core", "overhead on 4 cores"});
+  std::vector<double> single_all;
+  std::vector<double> multi_all;
+  for (const auto& spec : workload::Spec2006()) {
+    const double single =
+        bench::NxeOverhead(spec, 2, nxe::LockstepMode::kStrict, 29, /*cores=*/1);
+    const double multi = bench::NxeOverhead(spec, 2, nxe::LockstepMode::kStrict, 29, 4);
+    single_all.push_back(single);
+    multi_all.push_back(multi);
+    table.AddRow({spec.name, Table::Pct(single), Table::Pct(multi)});
+  }
+  table.AddRow({"Average", Table::Pct(Mean(single_all)), Table::Pct(Mean(multi_all))});
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 2: lighttpd and nginx latency under the NXE (3 variants), strict and
+// selective lockstep, 1KB vs 1MB responses, 64/512/1024 concurrent
+// connections. Paper: 1KB averages 20.56% (strict) / 16.4% (selective);
+// 1MB averages 1.57% / 1.31% — the absolute cost is similar but amortizes
+// into the transfer time of large responses.
+#include "bench/bench_util.h"
+
+namespace bunshin {
+namespace {
+
+struct ConfigResult {
+  double base_us;
+  double strict_us, strict_pct;
+  double selective_us, selective_pct;
+};
+
+ConfigResult RunConfig(const workload::ServerSpec& server, uint64_t seed) {
+  ConfigResult out{};
+  nxe::EngineConfig config;
+  config.cache_sensitivity = 1.0;
+  nxe::Engine engine(config);
+
+  workload::VariantSpec base_spec;
+  const auto base_trace = workload::BuildServerTrace(server, base_spec, seed);
+  const double requests = static_cast<double>(server.requests);
+  // 0.1 microseconds per abstract cycle.
+  const double us_per_cycle = 0.1;
+  out.base_us = engine.RunBaseline(base_trace) / requests * us_per_cycle;
+
+  auto variants = workload::BuildIdenticalServerVariants(server, 3, seed);
+  for (auto mode : {nxe::LockstepMode::kStrict, nxe::LockstepMode::kSelective}) {
+    nxe::EngineConfig mode_config = config;
+    mode_config.mode = mode;
+    nxe::Engine mode_engine(mode_config);
+    auto report = mode_engine.Run(variants);
+    const double us =
+        report.ok() && report->completed ? report->total_time / requests * us_per_cycle : -1;
+    if (mode == nxe::LockstepMode::kStrict) {
+      out.strict_us = us;
+      out.strict_pct = us / out.base_us - 1.0;
+    } else {
+      out.selective_us = us;
+      out.selective_pct = us / out.base_us - 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bunshin
+
+int main() {
+  using namespace bunshin;
+  bench::PrintHeader("Table 2: lighttpd/nginx per-request latency under the NXE (3 variants)",
+                     "1KB avg 20.56% strict / 16.4% selective; 1MB avg 1.57% / 1.31%");
+
+  Table table({"config", "conns", "base us", "strict us", "strict %", "selective us",
+               "selective %"});
+  std::vector<double> small_strict, small_sel, large_strict, large_sel;
+  for (const char* server_name : {"lighttpd", "nginx"}) {
+    for (size_t file_kb : {size_t{1}, size_t{1024}}) {
+      for (size_t conns : {size_t{64}, size_t{512}, size_t{1024}}) {
+        workload::ServerSpec server;
+        server.name = server_name;
+        server.threads = std::string(server_name) == "nginx" ? 4 : 1;
+        server.requests = 64;
+        server.file_kb = file_kb;
+        server.concurrency = conns;
+        const auto r = RunConfig(server, 77);
+        (file_kb == 1 ? small_strict : large_strict).push_back(r.strict_pct);
+        (file_kb == 1 ? small_sel : large_sel).push_back(r.selective_pct);
+        table.AddRow({std::string(server_name) + " " + (file_kb == 1 ? "1K" : "1M") + " file",
+                      std::to_string(conns), Table::Num(r.base_us, 2),
+                      Table::Num(r.strict_us, 2), Table::Pct(r.strict_pct),
+                      Table::Num(r.selective_us, 2), Table::Pct(r.selective_pct)});
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Ave. (1KB): strict %s, selective %s (paper: 20.56%%, 16.4%%)\n",
+              Table::Pct(Mean(small_strict)).c_str(), Table::Pct(Mean(small_sel)).c_str());
+  std::printf("Ave. (1MB): strict %s, selective %s (paper: 1.57%%, 1.31%%)\n",
+              Table::Pct(Mean(large_strict)).c_str(), Table::Pct(Mean(large_sel)).c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Real-world CVE exploit reproductions (Table 4).
+//
+// The paper applies Bunshin to five vulnerable programs, produces two
+// variants by check distribution (ASan cases) or sanitizer distribution
+// (UBSan case), and drives them with the published exploits. We model each
+// program as a function-profile + trace pair where the exploit triggers the
+// vulnerable code path: the variant that carries the relevant check detects
+// (its sanitizer report manifests as an extra write syscall, like the nginx
+// case study's variant A), and the unprotected variant's corrupted execution
+// diverges. Either way the NXE stops the attack; the experiment asserts the
+// detection actually fires in the variant the plan assigned the function to.
+#ifndef BUNSHIN_SRC_ATTACK_CVE_H_
+#define BUNSHIN_SRC_ATTACK_CVE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sanitizer/sanitizer.h"
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace attack {
+
+struct CveCase {
+  std::string program;   // e.g. "nginx-1.4.0"
+  std::string cve;       // e.g. "CVE-2013-2028"
+  std::string exploit;   // e.g. "blind ROP"
+  san::SanitizerId sanitizer = san::SanitizerId::kASan;
+  std::string vulnerable_function;  // e.g. "ngx_http_parse_chunked"
+  size_t n_functions = 400;         // program size for a realistic plan
+  // Published exploits used to drive the program (the nginx case has three).
+  std::vector<std::string> exploit_sources;
+};
+
+// The five Table 4 cases.
+const std::vector<CveCase>& CveCases();
+
+struct CveRunResult {
+  bool stopped = false;             // attack blocked by the NXE
+  bool detected = false;            // a sanitizer check fired
+  size_t detecting_variant = 0;     // which variant carried the check
+  std::string detector;             // report handler name
+  bool protected_by_plan = false;   // plan assigned the vulnerable fn/check
+                                    // to detecting_variant (sanity cross-check)
+};
+
+// Runs one case end to end: plan a 2-variant distribution, locate which
+// variant protects the vulnerable function (check distribution) or carries
+// the relevant sub-sanitizer (sanitizer distribution), build the exploit
+// traces, and synchronize them under the NXE.
+StatusOr<CveRunResult> RunCve(const CveCase& cve_case, uint64_t seed = 42);
+
+}  // namespace attack
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_ATTACK_CVE_H_

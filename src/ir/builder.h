@@ -1,0 +1,135 @@
+// Convenience builder for constructing IR functions block by block.
+#ifndef BUNSHIN_SRC_IR_BUILDER_H_
+#define BUNSHIN_SRC_IR_BUILDER_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace bunshin {
+namespace ir {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Function* fn) : fn_(fn) {}
+
+  void SetInsertPoint(BlockId block) { block_ = block; }
+  BlockId insert_point() const { return block_; }
+
+  // Sets the origin tag applied to subsequently emitted instructions.
+  void SetOrigin(InstOrigin origin) { origin_ = origin; }
+  InstOrigin origin() const { return origin_; }
+
+  Value BinaryOp(BinOp op, Value lhs, Value rhs) {
+    Instruction inst = NewInst(Opcode::kBinOp);
+    inst.bin_op = op;
+    inst.operands = {lhs, rhs};
+    return Emit(std::move(inst));
+  }
+  Value Add(Value a, Value b) { return BinaryOp(BinOp::kAdd, a, b); }
+  Value Sub(Value a, Value b) { return BinaryOp(BinOp::kSub, a, b); }
+  Value Mul(Value a, Value b) { return BinaryOp(BinOp::kMul, a, b); }
+  Value Div(Value a, Value b) { return BinaryOp(BinOp::kDiv, a, b); }
+  Value Rem(Value a, Value b) { return BinaryOp(BinOp::kRem, a, b); }
+  Value And(Value a, Value b) { return BinaryOp(BinOp::kAnd, a, b); }
+  Value Xor(Value a, Value b) { return BinaryOp(BinOp::kXor, a, b); }
+  Value Shl(Value a, Value b) { return BinaryOp(BinOp::kShl, a, b); }
+
+  Value Cmp(CmpPred pred, Value lhs, Value rhs) {
+    Instruction inst = NewInst(Opcode::kCmp);
+    inst.pred = pred;
+    inst.operands = {lhs, rhs};
+    return Emit(std::move(inst));
+  }
+
+  Value Select(Value cond, Value if_true, Value if_false) {
+    Instruction inst = NewInst(Opcode::kSelect);
+    inst.operands = {cond, if_true, if_false};
+    return Emit(std::move(inst));
+  }
+
+  Value Alloca(Value count) {
+    Instruction inst = NewInst(Opcode::kAlloca);
+    inst.operands = {count};
+    return Emit(std::move(inst));
+  }
+
+  Value Load(Value addr) {
+    Instruction inst = NewInst(Opcode::kLoad);
+    inst.operands = {addr};
+    return Emit(std::move(inst));
+  }
+
+  void Store(Value addr, Value value) {
+    Instruction inst = NewInst(Opcode::kStore);
+    inst.operands = {addr, value};
+    Emit(std::move(inst));
+  }
+
+  Value Call(std::string callee, std::vector<Value> args) {
+    Instruction inst = NewInst(Opcode::kCall);
+    inst.callee = std::move(callee);
+    inst.operands = std::move(args);
+    return Emit(std::move(inst));
+  }
+
+  void Br(BlockId target) {
+    Instruction inst = NewInst(Opcode::kBr);
+    inst.target = target;
+    Emit(std::move(inst));
+  }
+
+  void CondBr(Value cond, BlockId if_true, BlockId if_false) {
+    Instruction inst = NewInst(Opcode::kCondBr);
+    inst.operands = {cond};
+    inst.target = if_true;
+    inst.alt_target = if_false;
+    Emit(std::move(inst));
+  }
+
+  Value Phi(std::vector<PhiIncoming> incomings) {
+    Instruction inst = NewInst(Opcode::kPhi);
+    inst.incomings = std::move(incomings);
+    return Emit(std::move(inst));
+  }
+
+  void Ret(Value value) {
+    Instruction inst = NewInst(Opcode::kRet);
+    inst.operands = {value};
+    Emit(std::move(inst));
+  }
+
+  void RetVoid() { Emit(NewInst(Opcode::kRet)); }
+
+  void Unreachable() { Emit(NewInst(Opcode::kUnreachable)); }
+
+ private:
+  Instruction NewInst(Opcode op) {
+    Instruction inst;
+    inst.id = fn_->NextInstId();
+    inst.op = op;
+    inst.origin = origin_;
+    return inst;
+  }
+
+  Value Emit(Instruction inst) {
+    BasicBlock* bb = fn_->block(block_);
+    assert(bb != nullptr && "insert point not set");
+    const InstId id = inst.id;
+    const bool has_result = inst.HasResult();
+    bb->insts.push_back(std::move(inst));
+    return has_result ? Value::Inst(id) : Value::Const(0);
+  }
+
+  Function* fn_;
+  BlockId block_ = 0;
+  InstOrigin origin_ = InstOrigin::kOriginal;
+};
+
+}  // namespace ir
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_IR_BUILDER_H_

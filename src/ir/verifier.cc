@@ -1,0 +1,97 @@
+#include "src/ir/verifier.h"
+
+#include <set>
+#include <sstream>
+
+namespace bunshin {
+namespace ir {
+namespace {
+
+std::string Where(const Function& fn, const BasicBlock& bb, const Instruction& inst) {
+  std::ostringstream out;
+  out << "in @" << fn.name() << " bb" << bb.id << ": " << InstToString(inst);
+  return out.str();
+}
+
+}  // namespace
+
+Status VerifyFunction(const Function& fn) {
+  if (fn.blocks().empty()) {
+    return InvalidArgument("function @" + fn.name() + " has no blocks");
+  }
+
+  std::set<InstId> defined;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (!defined.insert(inst.id).second) {
+        return InvalidArgument("duplicate instruction id " + std::to_string(inst.id) + " in @" +
+                               fn.name());
+      }
+    }
+  }
+
+  // Predecessor map for phi validation.
+  std::map<BlockId, std::set<BlockId>> preds;
+  for (const auto& bb : fn.blocks()) {
+    for (BlockId succ : bb.Successors()) {
+      if (succ >= fn.blocks().size()) {
+        return InvalidArgument("branch to nonexistent bb" + std::to_string(succ) + " in @" +
+                               fn.name());
+      }
+      preds[succ].insert(bb.id);
+    }
+  }
+
+  for (const auto& bb : fn.blocks()) {
+    if (bb.insts.empty()) {
+      return InvalidArgument("empty block bb" + std::to_string(bb.id) + " in @" + fn.name());
+    }
+    if (!bb.insts.back().IsTerminator()) {
+      return InvalidArgument("block bb" + std::to_string(bb.id) + " in @" + fn.name() +
+                             " does not end with a terminator");
+    }
+    for (size_t i = 0; i + 1 < bb.insts.size(); ++i) {
+      if (bb.insts[i].IsTerminator()) {
+        return InvalidArgument("terminator in the middle of bb" + std::to_string(bb.id) + " " +
+                               Where(fn, bb, bb.insts[i]));
+      }
+    }
+    for (const auto& inst : bb.insts) {
+      for (const auto& operand : inst.operands) {
+        if (operand.kind == Value::Kind::kInst && defined.count(operand.index) == 0) {
+          return InvalidArgument("use of undefined value %" + std::to_string(operand.index) +
+                                 " " + Where(fn, bb, inst));
+        }
+        if (operand.kind == Value::Kind::kArg && operand.index >= fn.num_args()) {
+          return InvalidArgument("argument index out of range " + Where(fn, bb, inst));
+        }
+      }
+      if (inst.op == Opcode::kPhi) {
+        for (const auto& incoming : inst.incomings) {
+          if (preds[bb.id].count(incoming.pred) == 0) {
+            return InvalidArgument("phi incoming from non-predecessor bb" +
+                                   std::to_string(incoming.pred) + " " + Where(fn, bb, inst));
+          }
+          if (incoming.value.kind == Value::Kind::kInst &&
+              defined.count(incoming.value.index) == 0) {
+            return InvalidArgument("phi uses undefined value " + Where(fn, bb, inst));
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyModule(const Module& module) {
+  for (const auto& fn : module.functions()) {
+    Status s = VerifyFunction(*fn);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ir
+}  // namespace bunshin

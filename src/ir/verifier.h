@@ -1,0 +1,25 @@
+// Structural well-formedness checks for IR modules.
+#ifndef BUNSHIN_SRC_IR_VERIFIER_H_
+#define BUNSHIN_SRC_IR_VERIFIER_H_
+
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace ir {
+
+// Verifies:
+//  * every block ends with exactly one terminator (and only the last
+//    instruction is a terminator),
+//  * branch targets are valid block ids,
+//  * every kInst operand refers to an instruction id defined in the function,
+//  * instruction ids are unique within the function,
+//  * phi incomings name actual predecessor blocks,
+//  * argument operand indices are in range.
+Status VerifyFunction(const Function& fn);
+Status VerifyModule(const Module& module);
+
+}  // namespace ir
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_IR_VERIFIER_H_

@@ -1,0 +1,618 @@
+#include "src/nxe/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bunshin {
+namespace nxe {
+
+const char* LockstepModeName(LockstepMode mode) {
+  return mode == LockstepMode::kStrict ? "strict" : "selective";
+}
+
+double CostModel::LlcMultiplier(size_t n_variants, double cache_sensitivity) const {
+  if (n_variants <= 1) {
+    return 1.0;
+  }
+  return 1.0 + llc_alpha * cache_sensitivity *
+                   std::pow(static_cast<double>(n_variants - 1), llc_exponent);
+}
+
+double CostModel::SerializationMultiplier(size_t n_variants, size_t threads_per_variant) const {
+  // Background load does not serialize compute (the scheduler still gives the
+  // app its share); it shows up as slower wakeups — see WakeupCost().
+  const double runnable = static_cast<double>(n_variants * threads_per_variant);
+  const double ratio = runnable / static_cast<double>(cores);
+  if (ratio <= 1.0) {
+    return 1.0;
+  }
+  if (threads_per_variant <= 1) {
+    // Single-threaded CPU-bound variants never block: overcommit fully
+    // serializes (§5.7's single-core experiment: ~2x for 2 variants).
+    return ratio;
+  }
+  // Multithreaded programs spend much of their time blocked on locks,
+  // barriers, and syscalls, so moderate overcommit (plus SMT) is largely
+  // absorbed; only a damped fraction shows up as slowdown.
+  constexpr double kOvercommitSoftness = 0.015;
+  return 1.0 + (ratio - 1.0) * kOvercommitSoftness;
+}
+
+double CostModel::WakeupCost() const { return wait_wakeup * (1.0 + load_wait_coeff * background_load); }
+
+namespace {
+
+// Why a thread is parked at its current action.
+enum class Park {
+  kNone,      // still has local work (or is done)
+  kSyscall,   // at a sync-relevant syscall
+  kLock,      // at a lock acquisition
+  kBarrier,   // at an intra-variant barrier
+  kDetect,    // sanitizer check fired
+  kDone,
+};
+
+struct ThreadState {
+  size_t cursor = 0;
+  double clock = 0.0;
+  size_t stream_pos = 0;  // sync-relevant syscalls completed
+  Park park = Park::kNone;
+};
+
+struct OrderEntry {
+  size_t thread = 0;
+  double leader_time = 0.0;
+};
+
+struct PublishedSlot {
+  sc::SyscallRecord record;
+  double avail_time = 0.0;  // when followers may fetch results
+};
+
+struct VariantState {
+  std::vector<ThreadState> threads;
+  size_t order_cursor = 0;        // follower replay position in order_list
+  double last_acquire_time = 0.0;  // completion time of this variant's last acquisition
+};
+
+}  // namespace
+
+double Engine::RunBaseline(const VariantTrace& trace) const {
+  const CostModel& cm = config_.cost;
+  const size_t n_threads = trace.threads.size();
+  const double serial = cm.SerializationMultiplier(1, n_threads);
+  std::vector<double> clock(n_threads, 0.0);
+  std::vector<size_t> cursor(n_threads, 0);
+  std::vector<bool> done(n_threads, n_threads == 0);
+
+  // Advance all threads, meeting at barriers. Barriers appear in the same
+  // order in every thread that participates (workload invariant).
+  for (;;) {
+    bool any_alive = false;
+    std::vector<size_t> at_barrier;
+    for (size_t t = 0; t < n_threads; ++t) {
+      if (done[t]) {
+        continue;
+      }
+      any_alive = true;
+      while (cursor[t] < trace.threads[t].actions.size()) {
+        const ThreadAction& a = trace.threads[t].actions[cursor[t]];
+        if (a.kind == ActionKind::kBarrier) {
+          at_barrier.push_back(t);
+          break;
+        }
+        switch (a.kind) {
+          case ActionKind::kCompute:
+            clock[t] += a.cost * trace.compute_scale * serial;
+            break;
+          case ActionKind::kSyscall:
+            clock[t] += cm.kernel_syscall;
+            break;
+          case ActionKind::kLockAcquire:
+          case ActionKind::kLockRelease:
+            clock[t] += cm.lock_primitive;
+            break;
+          case ActionKind::kDetect:
+            // Baseline of an instrumented binary: the sanitizer aborts here.
+            done[t] = true;
+            break;
+          case ActionKind::kExit:
+            done[t] = true;
+            break;
+          case ActionKind::kBarrier:
+            break;  // handled above
+        }
+        if (done[t]) {
+          break;
+        }
+        ++cursor[t];
+      }
+      if (!done[t] && cursor[t] >= trace.threads[t].actions.size()) {
+        done[t] = true;
+      }
+    }
+    if (!any_alive) {
+      break;
+    }
+    if (at_barrier.empty()) {
+      break;
+    }
+    double barrier_time = 0.0;
+    for (size_t t : at_barrier) {
+      barrier_time = std::max(barrier_time, clock[t]);
+    }
+    barrier_time += cm.lock_primitive;
+    for (size_t t : at_barrier) {
+      clock[t] = barrier_time;
+      ++cursor[t];
+    }
+  }
+
+  double finish = 0.0;
+  for (size_t t = 0; t < n_threads; ++t) {
+    finish = std::max(finish, clock[t]);
+  }
+  return finish;
+}
+
+StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) const {
+  if (variants.empty()) {
+    return InvalidArgument("no variants to run");
+  }
+  const size_t n_variants = variants.size();
+  const size_t n_threads = variants[0].threads.size();
+  for (const auto& v : variants) {
+    if (v.threads.size() != n_threads) {
+      return InvalidArgument("variant thread counts differ");
+    }
+  }
+
+  const CostModel& cm = config_.cost;
+  const double llc = cm.LlcMultiplier(n_variants, config_.cache_sensitivity);
+  const double serial = cm.SerializationMultiplier(n_variants, std::max<size_t>(n_threads, 1));
+  const double compute_factor = llc * serial;
+
+  SyncReport report;
+  report.variant_finish_time.assign(n_variants, 0.0);
+
+  std::vector<VariantState> vs(n_variants);
+  for (size_t v = 0; v < n_variants; ++v) {
+    vs[v].threads.assign(n_threads, ThreadState{});
+    // Pre-main sanitizer startup: costs time, produces ignored syscalls.
+    double startup = 0.0;
+    for (const auto& rec : variants[v].pre_main) {
+      (void)rec;
+      startup += cm.kernel_syscall;
+      ++report.ignored_syscalls;
+    }
+    for (auto& t : vs[v].threads) {
+      t.clock = startup;
+    }
+  }
+
+  // Leader's published sync stream, per thread.
+  std::vector<std::vector<PublishedSlot>> published(n_threads);
+  // consume_time[v][t][k]: when follower v consumed slot k of thread t
+  // (v == 0 unused). Needed to model ring-full stalls.
+  std::vector<std::vector<std::vector<double>>> consume_time(
+      n_variants, std::vector<std::vector<double>>(n_threads));
+
+  std::vector<OrderEntry> order_list;  // leader's lock-acquisition total order
+
+  uint64_t gap_samples = 0;
+  double gap_sum = 0.0;
+
+  auto record_of = [&](size_t v, size_t t) -> const ThreadAction& {
+    return variants[v].threads[t].actions[vs[v].threads[t].cursor];
+  };
+  auto thread_done = [&](size_t v, size_t t) { return vs[v].threads[t].park == Park::kDone; };
+
+  // Advances local (non-blocking) actions of one thread until it parks.
+  auto advance_local = [&](size_t v, size_t t) {
+    ThreadState& ts = vs[v].threads[t];
+    if (ts.park == Park::kDone) {
+      return;
+    }
+    const auto& actions = variants[v].threads[t].actions;
+    while (ts.cursor < actions.size()) {
+      const ThreadAction& a = actions[ts.cursor];
+      switch (a.kind) {
+        case ActionKind::kCompute:
+          ts.clock += a.cost * variants[v].compute_scale * compute_factor;
+          ++ts.cursor;
+          continue;
+        case ActionKind::kSyscall:
+          if (!sc::IsSyncRelevant(a.syscall.no)) {
+            // Sanitizer memory-management syscall: executed locally, never
+            // compared (§3.3 class 2).
+            ts.clock += cm.kernel_syscall + cm.trap_hook;
+            ++report.ignored_syscalls;
+            ++ts.cursor;
+            continue;
+          }
+          ts.park = Park::kSyscall;
+          return;
+        case ActionKind::kLockAcquire:
+          ts.park = Park::kLock;
+          return;
+        case ActionKind::kLockRelease:
+          ts.clock += cm.lock_primitive;
+          ++ts.cursor;
+          continue;
+        case ActionKind::kBarrier:
+          ts.park = Park::kBarrier;
+          return;
+        case ActionKind::kDetect:
+          ts.park = Park::kDetect;
+          return;
+        case ActionKind::kExit:
+          ts.park = Park::kDone;
+          return;
+      }
+    }
+    ts.park = Park::kDone;
+  };
+
+  auto all_done = [&]() {
+    for (size_t v = 0; v < n_variants; ++v) {
+      for (size_t t = 0; t < n_threads; ++t) {
+        if (!thread_done(v, t)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  auto finish_incident = [&](SyncReport&& r) {
+    r.aborted_all = true;
+    for (size_t v = 0; v < n_variants; ++v) {
+      double worst = 0.0;
+      for (size_t t = 0; t < n_threads; ++t) {
+        worst = std::max(worst, vs[v].threads[t].clock);
+      }
+      r.variant_finish_time[v] = worst;
+      r.total_time = std::max(r.total_time, worst);
+    }
+    return r;
+  };
+
+  for (;;) {
+    for (size_t v = 0; v < n_variants; ++v) {
+      for (size_t t = 0; t < n_threads; ++t) {
+        advance_local(v, t);
+      }
+    }
+    if (all_done()) {
+      break;
+    }
+
+    // --- Detection has top priority: the variant's sanitizer aborted. -------
+    {
+      bool found = false;
+      for (size_t v = 0; v < n_variants && !found; ++v) {
+        for (size_t t = 0; t < n_threads && !found; ++t) {
+          if (vs[v].threads[t].park == Park::kDetect) {
+            report.detection = DetectionReport{v, t, record_of(v, t).detector};
+            found = true;
+          }
+        }
+      }
+      if (found) {
+        return finish_incident(std::move(report));
+      }
+    }
+
+    bool progressed = false;
+
+    // --- Strict barriers / IO-write lockstep syscalls -----------------------
+    // A sync point (t, k) executes when every variant's thread t is parked at
+    // stream position k. In selective mode only IO-write-related syscalls use
+    // this path.
+    for (size_t t = 0; t < n_threads; ++t) {
+      // All variants parked at a syscall with equal stream_pos?
+      bool all_at = true;
+      size_t k = 0;
+      for (size_t v = 0; v < n_variants; ++v) {
+        const ThreadState& ts = vs[v].threads[t];
+        if (ts.park != Park::kSyscall) {
+          all_at = false;
+          break;
+        }
+        if (v == 0) {
+          k = ts.stream_pos;
+        } else if (ts.stream_pos != k) {
+          all_at = false;
+          break;
+        }
+      }
+      if (!all_at) {
+        continue;
+      }
+      const sc::SyscallRecord& leader_rec = record_of(0, t).syscall;
+      const bool needs_lockstep = config_.mode == LockstepMode::kStrict ||
+                                  sc::IsIoWriteRelated(leader_rec.no);
+      if (!needs_lockstep) {
+        continue;  // handled by the ring-buffer path below
+      }
+
+      // Argument agreement check (sequence + arguments, §2.2).
+      for (size_t v = 1; v < n_variants; ++v) {
+        const sc::SyscallRecord& rec = record_of(v, t).syscall;
+        if (!rec.SameRequest(leader_rec)) {
+          report.divergence = Divergence{v, t, k, sc::RecordToString(leader_rec),
+                                         sc::RecordToString(rec)};
+          return finish_incident(std::move(report));
+        }
+      }
+
+      double max_arrival = 0.0;
+      for (size_t v = 0; v < n_variants; ++v) {
+        max_arrival = std::max(max_arrival, vs[v].threads[t].clock + cm.trap_hook);
+      }
+      const double exec = max_arrival + cm.sync_slot;
+      const double done_time = exec + cm.kernel_syscall;
+      for (size_t v = 0; v < n_variants; ++v) {
+        ThreadState& ts = vs[v].threads[t];
+        const double arrival = ts.clock + cm.trap_hook;
+        const bool slept = arrival + 1e-12 < max_arrival;
+        ts.clock = done_time + (v == 0 ? cm.sync_slot : cm.result_fetch) +
+                   (slept ? cm.WakeupCost() : 0.0);
+        ++ts.stream_pos;
+        ++ts.cursor;
+        ts.park = Park::kNone;
+      }
+      // Keep the published stream consistent for later selective consumers.
+      published[t].push_back({leader_rec, done_time});
+      for (size_t v = 1; v < n_variants; ++v) {
+        consume_time[v][t].push_back(done_time);
+      }
+      ++report.synced_syscalls;
+      ++report.lockstep_barriers;
+      progressed = true;
+    }
+    if (progressed) {
+      continue;
+    }
+
+    if (config_.mode == LockstepMode::kSelective) {
+      // --- Leader publish (ring buffer) -------------------------------------
+      for (size_t t = 0; t < n_threads; ++t) {
+        ThreadState& ts = vs[0].threads[t];
+        if (ts.park != Park::kSyscall) {
+          continue;
+        }
+        const sc::SyscallRecord& rec = record_of(0, t).syscall;
+        if (sc::IsIoWriteRelated(rec.no)) {
+          continue;  // must go through the lockstep path
+        }
+        // Ring full? The leader stalls until the slowest follower frees the
+        // slot (published - consumed >= capacity).
+        const size_t pub_count = published[t].size();
+        double free_time = 0.0;
+        bool full = false;
+        for (size_t v = 1; v < n_variants; ++v) {
+          const size_t consumed = consume_time[v][t].size();
+          if (pub_count - consumed >= config_.ring_capacity) {
+            full = true;
+            // The slot is freed when the follower consumes entry
+            // pub_count - capacity.
+            const size_t idx = pub_count - config_.ring_capacity;
+            if (idx < consume_time[v][t].size()) {
+              free_time = std::max(free_time, consume_time[v][t][idx]);
+            } else {
+              free_time = -1.0;  // follower has not reached it yet
+              break;
+            }
+          }
+        }
+        if (full && free_time < 0.0) {
+          continue;  // follower must make progress first
+        }
+        const double arrival = ts.clock + cm.trap_hook;
+        const double start = std::max(arrival, free_time) + cm.sync_slot;
+        const double avail = start + cm.kernel_syscall;
+        ts.clock = avail + cm.sync_slot + (full ? cm.WakeupCost() : 0.0);
+        published[t].push_back({rec, avail});
+        ++ts.stream_pos;
+        ++ts.cursor;
+        ts.park = Park::kNone;
+        ++report.synced_syscalls;
+        progressed = true;
+      }
+
+      // --- Follower consume --------------------------------------------------
+      for (size_t v = 1; v < n_variants; ++v) {
+        for (size_t t = 0; t < n_threads; ++t) {
+          ThreadState& ts = vs[v].threads[t];
+          if (ts.park != Park::kSyscall) {
+            continue;
+          }
+          const size_t k = ts.stream_pos;
+          if (k >= published[t].size()) {
+            continue;  // leader has not published this slot yet
+          }
+          const sc::SyscallRecord& rec = record_of(v, t).syscall;
+          // Note: a slot only exists here when the leader's k-th record went
+          // through the ring (non-IO). If the follower's record is IO-related
+          // the comparison below reports the sequence divergence.
+          const PublishedSlot& slot = published[t][k];
+          if (!rec.SameRequest(slot.record)) {
+            report.divergence =
+                Divergence{v, t, k, sc::RecordToString(slot.record), sc::RecordToString(rec)};
+            return finish_incident(std::move(report));
+          }
+          const double arrival = ts.clock + cm.trap_hook;
+          const bool slept = arrival + 1e-12 < slot.avail_time;
+          ts.clock = std::max(arrival, slot.avail_time) + cm.result_fetch +
+                     (slept ? cm.WakeupCost() : 0.0);
+          consume_time[v][t].push_back(ts.clock);
+          ++ts.stream_pos;
+          ++ts.cursor;
+          ts.park = Park::kNone;
+          progressed = true;
+        }
+      }
+      if (progressed) {
+        continue;
+      }
+    }
+
+    // --- Intra-variant barriers --------------------------------------------
+    for (size_t v = 0; v < n_variants; ++v) {
+      // Group parked barrier threads by sync_id; release when every live
+      // thread that will ever reach this barrier is parked at it. We use the
+      // workload invariant that all threads of a variant participate in
+      // every barrier.
+      std::vector<size_t> waiting;
+      bool possible = true;
+      for (size_t t = 0; t < n_threads; ++t) {
+        const ThreadState& ts = vs[v].threads[t];
+        if (ts.park == Park::kBarrier) {
+          waiting.push_back(t);
+        } else if (ts.park != Park::kDone) {
+          possible = false;  // someone is still on the way (or blocked)
+        }
+      }
+      if (!possible || waiting.size() < 2 || waiting.empty()) {
+        // Require at least the full set of live threads; a single parked
+        // thread with others blocked elsewhere waits.
+        if (!(possible && waiting.size() == 1)) {
+          continue;
+        }
+      }
+      double release = 0.0;
+      for (size_t t : waiting) {
+        release = std::max(release, vs[v].threads[t].clock);
+      }
+      release += cm.lock_primitive;
+      for (size_t t : waiting) {
+        ThreadState& ts = vs[v].threads[t];
+        const bool slept = ts.clock + 1e-12 < release - cm.lock_primitive;
+        ts.clock = release + (slept ? cm.WakeupCost() : 0.0);
+        ++ts.cursor;
+        ts.park = Park::kNone;
+      }
+      progressed = true;
+    }
+    if (progressed) {
+      continue;
+    }
+
+    // --- Lock acquisitions (weak determinism, §3.3/§4.2) --------------------
+    // Leader: pick the parked acquisition with the smallest clock and append
+    // it to the order list.
+    {
+      size_t best_t = SIZE_MAX;
+      for (size_t t = 0; t < n_threads; ++t) {
+        if (vs[0].threads[t].park == Park::kLock &&
+            (best_t == SIZE_MAX || vs[0].threads[t].clock < vs[0].threads[best_t].clock)) {
+          best_t = t;
+        }
+      }
+      if (best_t != SIZE_MAX) {
+        ThreadState& ts = vs[0].threads[best_t];
+        ts.clock += cm.lock_primitive + cm.synccall;
+        order_list.push_back({best_t, ts.clock});
+        vs[0].last_acquire_time = ts.clock;
+        ++ts.cursor;
+        ts.park = Park::kNone;
+        ++report.lock_acquisitions;
+        progressed = true;
+      }
+    }
+    // Followers: replay the order list.
+    for (size_t v = 1; v < n_variants; ++v) {
+      VariantState& state = vs[v];
+      if (state.order_cursor >= order_list.size()) {
+        continue;  // leader has not defined the next acquisition yet
+      }
+      const OrderEntry& entry = order_list[state.order_cursor];
+      ThreadState& ts = state.threads[entry.thread];
+      if (ts.park != Park::kLock) {
+        continue;  // that thread is not there yet
+      }
+      const double start = std::max({ts.clock, state.last_acquire_time, entry.leader_time});
+      const bool slept = ts.clock + 1e-12 < start;
+      ts.clock = start + cm.lock_primitive + cm.synccall + (slept ? cm.WakeupCost() : 0.0);
+      state.last_acquire_time = ts.clock;
+      ++state.order_cursor;
+      ++ts.cursor;
+      ts.park = Park::kNone;
+      progressed = true;
+    }
+    if (progressed) {
+      continue;
+    }
+
+    // --- No progress: either a sequence-length divergence or an engine bug.
+    for (size_t t = 0; t < n_threads; ++t) {
+      // Some variant finished thread t while another still expects a sync
+      // point there (missing arrival == divergence).
+      bool someone_waiting = false;
+      size_t waiting_variant = 0;
+      bool someone_done = false;
+      for (size_t v = 0; v < n_variants; ++v) {
+        if (vs[v].threads[t].park == Park::kSyscall) {
+          someone_waiting = true;
+          waiting_variant = v;
+        }
+        if (vs[v].threads[t].park == Park::kDone) {
+          someone_done = true;
+        }
+      }
+      if (someone_waiting && someone_done) {
+        report.divergence = Divergence{
+            waiting_variant, t, vs[waiting_variant].threads[t].stream_pos,
+            "<exited>", sc::RecordToString(record_of(waiting_variant, t).syscall)};
+        return finish_incident(std::move(report));
+      }
+    }
+    return Internal("engine deadlock: no runnable variant thread");
+  }
+
+  // Post-exit sanitizer reporting: ignored, costs time.
+  for (size_t v = 0; v < n_variants; ++v) {
+    double extra = 0.0;
+    for (const auto& rec : variants[v].post_exit) {
+      (void)rec;
+      extra += cm.kernel_syscall;
+      ++report.ignored_syscalls;
+    }
+    double worst = 0.0;
+    for (size_t t = 0; t < n_threads; ++t) {
+      worst = std::max(worst, vs[v].threads[t].clock);
+    }
+    report.variant_finish_time[v] = worst + extra;
+    report.total_time = std::max(report.total_time, report.variant_finish_time[v]);
+  }
+  // Attack-window metric (§5.3), computed in *time* order: at the moment the
+  // leader publishes its k-th syscall, how many of the first k slots has the
+  // slowest follower already consumed? (Consumption times are monotone per
+  // follower/thread, so a binary search suffices.)
+  if (config_.mode == LockstepMode::kSelective && n_variants > 1) {
+    for (size_t t = 0; t < n_threads; ++t) {
+      for (size_t k = 0; k < published[t].size(); ++k) {
+        const double when = published[t][k].avail_time;
+        size_t min_consumed = SIZE_MAX;
+        for (size_t v = 1; v < n_variants; ++v) {
+          const auto& times = consume_time[v][t];
+          const size_t consumed = static_cast<size_t>(
+              std::upper_bound(times.begin(), times.end(), when) - times.begin());
+          min_consumed = std::min(min_consumed, consumed);
+        }
+        const uint64_t gap = static_cast<uint64_t>(k + 1 - min_consumed);
+        gap_sum += static_cast<double>(gap);
+        ++gap_samples;
+        report.max_syscall_gap = std::max(report.max_syscall_gap, gap);
+      }
+    }
+  }
+
+  report.completed = true;
+  report.avg_syscall_gap = gap_samples > 0 ? gap_sum / static_cast<double>(gap_samples) : 0.0;
+  return report;
+}
+
+}  // namespace nxe
+}  // namespace bunshin

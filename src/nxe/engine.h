@@ -1,0 +1,147 @@
+// The N-version execution engine (Bunshin §3.3 / §4.2).
+//
+// The engine runs N variant traces in virtual time. All ordering, comparison,
+// filtering, and abort logic is the real engine logic; only the clock is
+// simulated (a deterministic discrete-event scheduler), which is what lets a
+// single-core host regenerate the paper's multi-core measurements.
+//
+// Synchronization semantics implemented:
+//  * strict-lockstep: the leader executes a syscall only after every follower
+//    has arrived and agreed on the syscall number + arguments + payload;
+//  * selective-lockstep: the leader publishes syscall arguments/results into
+//    a bounded ring buffer and runs ahead; followers consume at their own
+//    pace; lockstep is still enforced for IO-write-related syscalls;
+//  * sanitizer-introduced syscalls are excluded: synchronization starts at
+//    main() (pre_main records ignored), memory-management syscalls are
+//    skipped, and post-exit records are ignored (first-exit-handler rule);
+//  * weak determinism: followers replay the leader's total order of lock
+//    acquisitions (Kendo-style, via the synccall hook);
+//  * divergence in syscall sequence or arguments alerts and aborts all
+//    variants; a variant whose sanitizer check fires (kDetect) likewise stops
+//    the whole system with the detection report.
+#ifndef BUNSHIN_SRC_NXE_ENGINE_H_
+#define BUNSHIN_SRC_NXE_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/nxe/trace.h"
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace nxe {
+
+enum class LockstepMode { kStrict, kSelective };
+
+const char* LockstepModeName(LockstepMode mode);
+
+// Abstract cycle costs of engine mechanisms plus the hardware model.
+struct CostModel {
+  // Cost of any syscall's kernel work (paid by the baseline too).
+  double kernel_syscall = 3.0;
+  // Extra per-trap cost of the patched syscall-table hook.
+  double trap_hook = 0.6;
+  // Checking in/out of the shared sync slot (leader) / fetching results
+  // without performing the syscall (follower).
+  double sync_slot = 0.5;
+  double result_fetch = 0.4;
+  // Reschedule penalty paid by a variant that had to sleep in a strict wait.
+  double wait_wakeup = 1.0;
+  // synccall overhead per locking primitive (leader append / follower check).
+  double synccall = 1.7;
+  // Barrier/lock primitive base cost (paid by the baseline too).
+  double lock_primitive = 0.5;
+
+  // Hardware model.
+  int cores = 4;
+  // LLC pressure: compute is scaled by
+  //   1 + llc_alpha * cache_sensitivity * (n_variants - 1)^llc_exponent.
+  double llc_alpha = 0.0035;
+  double llc_exponent = 1.90;
+  // Background CPU load in [0, 1): inflates wait/wakeup costs (a sleeping
+  // variant competes with the stressor to get rescheduled).
+  double background_load = 0.02;
+  double load_wait_coeff = 5.0;
+
+  double LlcMultiplier(size_t n_variants, double cache_sensitivity) const;
+  // Time-sharing penalty when runnable threads exceed available cores.
+  double SerializationMultiplier(size_t n_variants, size_t threads_per_variant) const;
+  double WakeupCost() const;
+};
+
+struct EngineConfig {
+  LockstepMode mode = LockstepMode::kStrict;
+  // Ring buffer slots per execution group (selective mode run-ahead bound).
+  size_t ring_capacity = 64;
+  CostModel cost;
+  // Per-benchmark LLC sensitivity (how much the workload suffers from
+  // sharing cache with its clones), around 1.0.
+  double cache_sensitivity = 1.0;
+};
+
+struct Divergence {
+  size_t variant = 0;  // which follower disagreed (or exited early)
+  size_t thread = 0;
+  size_t sync_index = 0;  // position in the filtered sync stream
+  std::string expected;   // leader record
+  std::string actual;     // follower record (or "<missing>")
+};
+
+struct DetectionReport {
+  size_t variant = 0;
+  size_t thread = 0;
+  std::string detector;  // e.g. "__asan_report_store"
+};
+
+struct SyncReport {
+  // Outcome.
+  bool completed = false;  // all variants ran to completion, no incident
+  std::optional<Divergence> divergence;
+  std::optional<DetectionReport> detection;
+  bool aborted_all = false;  // monitor killed every variant (on any incident)
+
+  // Timing.
+  std::vector<double> variant_finish_time;
+  double total_time = 0.0;
+
+  // Telemetry.
+  uint64_t synced_syscalls = 0;
+  uint64_t ignored_syscalls = 0;  // sanitizer-introduced (all three classes)
+  uint64_t lockstep_barriers = 0;
+  uint64_t lock_acquisitions = 0;
+  // Attack-window metric (§5.3): leader-to-slowest-follower distance in
+  // syscalls, sampled at every leader publish (selective mode).
+  double avg_syscall_gap = 0.0;
+  uint64_t max_syscall_gap = 0;
+
+  double OverheadVs(double baseline_time) const {
+    if (baseline_time <= 0.0) {
+      return 0.0;
+    }
+    return total_time / baseline_time - 1.0;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config) : config_(config) {}
+
+  const EngineConfig& config() const { return config_; }
+
+  // Synchronizes N variants (variants[0] is the leader). All variants must
+  // have the same thread count.
+  StatusOr<SyncReport> Run(const std::vector<VariantTrace>& variants) const;
+
+  // Runs a single trace without any engine machinery: the reference time the
+  // overhead figures are computed against.
+  double RunBaseline(const VariantTrace& trace) const;
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace nxe
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_NXE_ENGINE_H_

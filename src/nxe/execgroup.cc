@@ -1,0 +1,107 @@
+#include "src/nxe/execgroup.h"
+
+#include <algorithm>
+
+namespace bunshin {
+namespace nxe {
+
+ExecutionGroupManager::ExecutionGroupManager(Pid leader, std::vector<Pid> followers)
+    : n_followers_(followers.size()) {
+  ExecutionGroup root;
+  root.egid = 0;
+  root.leader = leader;
+  root.followers = std::move(followers);
+  groups_[0] = std::move(root);
+}
+
+StatusOr<Egid> ExecutionGroupManager::LeaderForked(Egid group, Pid child) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return NotFound("no such execution group");
+  }
+  ExecutionGroup child_group;
+  child_group.egid = next_egid_++;
+  child_group.leader = child;
+  child_group.parent = group;
+  const Egid egid = child_group.egid;
+  groups_[egid] = std::move(child_group);
+  pending_children_[group].push_back(egid);
+  return egid;
+}
+
+Status ExecutionGroupManager::FollowerForked(Egid group, Pid follower, Pid child) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return NotFound("no such execution group");
+  }
+  const auto& followers = it->second.followers;
+  if (std::find(followers.begin(), followers.end(), follower) == followers.end()) {
+    return InvalidArgument("pid is not a follower of this group");
+  }
+  auto pending = pending_children_.find(group);
+  if (pending == pending_children_.end() || pending->second.empty()) {
+    // The leader has not forked yet: in the real engine the follower's fork
+    // would be held at its (synchronized) fork syscall, so this is a
+    // divergence-grade protocol violation here.
+    return FailedPrecondition("follower forked before the leader");
+  }
+  // Fill the oldest incomplete child group first (forks are synchronized
+  // syscalls, so the k-th follower fork matches the k-th leader fork).
+  for (Egid egid : pending->second) {
+    ExecutionGroup& child_group = groups_[egid];
+    if (child_group.followers.size() < n_followers_) {
+      child_group.followers.push_back(child);
+      if (child_group.followers.size() == n_followers_) {
+        auto& list = pending->second;
+        list.erase(std::remove(list.begin(), list.end(), egid), list.end());
+      }
+      return Status::Ok();
+    }
+  }
+  return FailedPrecondition("no incomplete child group awaiting a follower fork");
+}
+
+bool ExecutionGroupManager::IsComplete(Egid group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.followers.size() == n_followers_;
+}
+
+StatusOr<Egid> ExecutionGroupManager::ProcessExited(Pid pid) {
+  auto owner = GroupOf(pid);
+  if (!owner.ok()) {
+    return owner;
+  }
+  ExecutionGroup& group = groups_[*owner];
+  if (group.leader == pid) {
+    group.leader = 0;
+  } else {
+    auto& fs = group.followers;
+    fs.erase(std::remove(fs.begin(), fs.end(), pid), fs.end());
+  }
+  if (group.leader == 0 && group.followers.empty()) {
+    pending_children_.erase(*owner);
+    groups_.erase(*owner);
+  }
+  return owner;
+}
+
+const ExecutionGroup* ExecutionGroupManager::Find(Egid group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+StatusOr<Egid> ExecutionGroupManager::GroupOf(Pid pid) const {
+  for (const auto& [egid, group] : groups_) {
+    if (group.leader == pid) {
+      return egid;
+    }
+    if (std::find(group.followers.begin(), group.followers.end(), pid) !=
+        group.followers.end()) {
+      return egid;
+    }
+  }
+  return NotFound("pid not in any execution group");
+}
+
+}  // namespace nxe
+}  // namespace bunshin

@@ -1,0 +1,71 @@
+// Execution groups (Bunshin §3.3 "Multi-threading", first half).
+//
+// Multi-process programs are handled by pairing each leader process with its
+// follower counterparts in an *execution group* with its own shared buffers:
+// the starting processes form group 0; when the leader forks, the child
+// automatically becomes the leader of a fresh group, and each follower's
+// child becomes a follower in that same group. For daemon-style programs
+// (Apache, Nginx, sshd) this separation alone removes the syscall
+// interleaving nondeterminism across workers.
+#ifndef BUNSHIN_SRC_NXE_EXECGROUP_H_
+#define BUNSHIN_SRC_NXE_EXECGROUP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace nxe {
+
+using Egid = uint32_t;
+using Pid = uint64_t;
+
+struct ExecutionGroup {
+  Egid egid = 0;
+  Pid leader = 0;
+  std::vector<Pid> followers;
+  Egid parent = 0;  // group whose fork created this one (0 for the root)
+};
+
+class ExecutionGroupManager {
+ public:
+  // Creates the root group from the initial leader + follower processes.
+  ExecutionGroupManager(Pid leader, std::vector<Pid> followers);
+
+  // The leader of `group` forked `child`: a new group is created with the
+  // child as leader; it stays incomplete until every follower of `group`
+  // reports its own fork. Returns the new group's id.
+  StatusOr<Egid> LeaderForked(Egid group, Pid child);
+
+  // Follower `follower` of `group` forked `child`: the child joins the
+  // youngest incomplete group spawned from `group`, in follower order.
+  Status FollowerForked(Egid group, Pid follower, Pid child);
+
+  // A group is complete when it has as many followers as the root group —
+  // only then can its syscall synchronization begin.
+  bool IsComplete(Egid group) const;
+
+  // Process exit: removes the process; when a whole group has exited the
+  // group is retired. Returns the group the pid belonged to.
+  StatusOr<Egid> ProcessExited(Pid pid);
+
+  const ExecutionGroup* Find(Egid group) const;
+  // Group that `pid` currently belongs to (as leader or follower).
+  StatusOr<Egid> GroupOf(Pid pid) const;
+
+  size_t group_count() const { return groups_.size(); }
+  size_t follower_count() const { return n_followers_; }
+
+ private:
+  std::map<Egid, ExecutionGroup> groups_;
+  std::map<Egid, std::vector<Egid>> pending_children_;  // parent -> incomplete groups
+  size_t n_followers_;
+  Egid next_egid_ = 1;
+};
+
+}  // namespace nxe
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_NXE_EXECGROUP_H_

@@ -1,0 +1,73 @@
+#include "src/nxe/shared_mem.h"
+
+namespace bunshin {
+namespace nxe {
+
+SharedMapping::SharedMapping(size_t words, size_t n_followers) : words_(words) {
+  views_.assign(n_followers + 1, std::vector<int64_t>(words, 0));
+  // Every page starts poisoned for every variant: the first touch must
+  // synchronize (mirrors marking the fresh shadow copy HWPOISON).
+  poisoned_.assign(n_followers + 1, std::vector<bool>(pages(), true));
+}
+
+void SharedMapping::FaultIn(size_t variant, size_t page) {
+  ++fault_count_;
+  if (variant != 0) {
+    // Copy the leader's page into the follower's view (the "compare and copy
+    // content of the accessed address from the leader's mapping" step).
+    const size_t begin = page * kPageWords;
+    const size_t end = std::min(words_, begin + kPageWords);
+    for (size_t i = begin; i < end; ++i) {
+      views_[variant][i] = views_[0][i];
+    }
+  }
+  poisoned_[variant][page] = false;
+}
+
+StatusOr<int64_t> SharedMapping::Read(size_t variant, size_t offset) {
+  if (variant >= views_.size()) {
+    return InvalidArgument("no such variant");
+  }
+  if (offset >= words_) {
+    return OutOfRange("shared-memory read out of range");
+  }
+  const size_t page = offset / kPageWords;
+  if (poisoned_[variant][page]) {
+    FaultIn(variant, page);
+  }
+  return views_[variant][offset];
+}
+
+Status SharedMapping::Write(size_t variant, size_t offset, int64_t value) {
+  if (variant >= views_.size()) {
+    return InvalidArgument("no such variant");
+  }
+  if (offset >= words_) {
+    return OutOfRange("shared-memory write out of range");
+  }
+  const size_t page = offset / kPageWords;
+  if (poisoned_[variant][page]) {
+    FaultIn(variant, page);
+  }
+  if (variant != 0 && views_[0][offset] != value) {
+    // The follower wants to write something the leader did not: behavioral
+    // divergence on shared state.
+    ++divergent_writes_;
+    return FailedPrecondition("follower shared-memory write diverges from leader");
+  }
+  views_[variant][offset] = value;
+  if (variant != 0) {
+    // After a follower consumed the page it must re-fault on the next access
+    // episode so later leader updates are observed.
+    poisoned_[variant][page] = true;
+  }
+  return Status::Ok();
+}
+
+bool SharedMapping::IsPoisoned(size_t variant, size_t page) const {
+  return variant < poisoned_.size() && page < poisoned_[variant].size() &&
+         poisoned_[variant][page];
+}
+
+}  // namespace nxe
+}  // namespace bunshin

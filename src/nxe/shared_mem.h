@@ -1,0 +1,68 @@
+// Shared-memory access synchronization (Bunshin §4.2 "Shared memory access").
+//
+// When a variant maps shared memory (an mmap with MAP_SHARED-style flags),
+// the engine creates a same-size shadow copy and marks its pages "poisoned"
+// (HWPOISON in the real system), so any access also touches the shadow and
+// raises SIGBUS. The fault handler then synchronizes the access like a
+// syscall: the leader's value is compared/copied to the followers' mappings.
+//
+// This class models that protocol faithfully at page granularity: accesses to
+// poisoned pages trap; the trap handler resolves the access through the
+// leader and re-poisons, producing the observable event stream the engine
+// compares. Tests drive it directly; the full engine treats these faults as
+// synchronized pseudo-syscalls.
+#ifndef BUNSHIN_SRC_NXE_SHARED_MEM_H_
+#define BUNSHIN_SRC_NXE_SHARED_MEM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace nxe {
+
+inline constexpr size_t kPageWords = 64;  // model page size, in words
+
+class SharedMapping {
+ public:
+  // One leader + n_followers variants share a mapping of `words` words.
+  SharedMapping(size_t words, size_t n_followers);
+
+  size_t words() const { return words_; }
+  size_t pages() const { return (words_ + kPageWords - 1) / kPageWords; }
+
+  // Variant 0 is the leader. An access to a poisoned page "faults": the
+  // handler copies the leader's page into the variant's view, records a sync
+  // event, and the access then proceeds. Reads return the variant's view.
+  StatusOr<int64_t> Read(size_t variant, size_t offset);
+  // Writes go to the variant's view; a follower's write is checked against
+  // the leader's view for divergence (same-input variants write the same
+  // values in the same order).
+  Status Write(size_t variant, size_t offset, int64_t value);
+
+  // Telemetry: faults taken so far (the SIGBUS count).
+  uint64_t fault_count() const { return fault_count_; }
+  // Divergent follower writes observed.
+  uint64_t divergent_writes() const { return divergent_writes_; }
+
+  // Test hook: is this page currently poisoned for the variant?
+  bool IsPoisoned(size_t variant, size_t page) const;
+
+ private:
+  void FaultIn(size_t variant, size_t page);
+
+  size_t words_;
+  // views_[v] is variant v's copy; views_[0] is authoritative (leader).
+  std::vector<std::vector<int64_t>> views_;
+  // poisoned_[v][p]: variant v must fault before touching page p again.
+  std::vector<std::vector<bool>> poisoned_;
+  uint64_t fault_count_ = 0;
+  uint64_t divergent_writes_ = 0;
+};
+
+}  // namespace nxe
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_NXE_SHARED_MEM_H_

@@ -1,0 +1,136 @@
+// Variant execution traces.
+//
+// A simulated variant process is described by the sequence of actions each of
+// its threads performs: compute bursts (with a cost in abstract cycles),
+// syscalls (with full argument records), and pthreads-style synchronization
+// operations. The workload generators (src/workload) produce a common
+// template per benchmark; the variant generator derives per-variant traces by
+// scaling compute (sanitizer slowdown), adding sanitizer-introduced syscalls,
+// and splicing in attack behavior for the security experiments.
+#ifndef BUNSHIN_SRC_NXE_TRACE_H_
+#define BUNSHIN_SRC_NXE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/syscall/syscall.h"
+
+namespace bunshin {
+namespace nxe {
+
+enum class ActionKind : uint8_t {
+  kCompute,      // burn `cost` cycles
+  kSyscall,      // trap with `syscall`
+  kLockAcquire,  // pthread_mutex_lock-style primitive on `sync_id`
+  kLockRelease,
+  kBarrier,      // pthread_barrier_wait on `sync_id` (all threads of variant)
+  kDetect,       // a sanitizer check fired here (variant aborts with report)
+  kExit,         // thread finishes
+};
+
+struct ThreadAction {
+  ActionKind kind = ActionKind::kCompute;
+  double cost = 0.0;          // kCompute: cycles; others: trap/primitive cost extra
+  sc::SyscallRecord syscall;  // kSyscall
+  uint32_t sync_id = 0;       // kLockAcquire/kLockRelease/kBarrier
+  std::string detector;       // kDetect: report handler name
+
+  static ThreadAction Compute(double cycles) {
+    ThreadAction a;
+    a.kind = ActionKind::kCompute;
+    a.cost = cycles;
+    return a;
+  }
+  static ThreadAction Syscall(const sc::SyscallRecord& record) {
+    ThreadAction a;
+    a.kind = ActionKind::kSyscall;
+    a.syscall = record;
+    return a;
+  }
+  static ThreadAction Lock(uint32_t id) {
+    ThreadAction a;
+    a.kind = ActionKind::kLockAcquire;
+    a.sync_id = id;
+    return a;
+  }
+  static ThreadAction Unlock(uint32_t id) {
+    ThreadAction a;
+    a.kind = ActionKind::kLockRelease;
+    a.sync_id = id;
+    return a;
+  }
+  static ThreadAction Barrier(uint32_t id) {
+    ThreadAction a;
+    a.kind = ActionKind::kBarrier;
+    a.sync_id = id;
+    return a;
+  }
+  static ThreadAction Detect(std::string detector) {
+    ThreadAction a;
+    a.kind = ActionKind::kDetect;
+    a.detector = std::move(detector);
+    return a;
+  }
+  static ThreadAction Exit() {
+    ThreadAction a;
+    a.kind = ActionKind::kExit;
+    return a;
+  }
+};
+
+struct ThreadTrace {
+  std::vector<ThreadAction> actions;
+};
+
+struct VariantTrace {
+  std::string name;
+  // Multiplier on every compute cost — the sanitizer slowdown this variant
+  // carries (1.0 == uninstrumented speed).
+  double compute_scale = 1.0;
+  // Syscalls the sanitizer runtime issues before main() and after exit();
+  // the engine must not compare them (§3.3: sync starts at main, stops at
+  // the first exit handler).
+  std::vector<sc::SyscallRecord> pre_main;
+  std::vector<sc::SyscallRecord> post_exit;
+  std::vector<ThreadTrace> threads;
+
+  size_t TotalActions() const {
+    size_t n = 0;
+    for (const auto& t : threads) {
+      n += t.actions.size();
+    }
+    return n;
+  }
+  // Sum of compute cost at scale 1 across all threads (baseline work).
+  double TotalComputeCost() const {
+    double total = 0.0;
+    for (const auto& t : threads) {
+      for (const auto& a : t.actions) {
+        if (a.kind == ActionKind::kCompute) {
+          total += a.cost;
+        }
+      }
+    }
+    return total;
+  }
+  // Critical-path compute (slowest single thread) at the variant's scale.
+  double CriticalPathCost() const {
+    double worst = 0.0;
+    for (const auto& t : threads) {
+      double sum = 0.0;
+      for (const auto& a : t.actions) {
+        if (a.kind == ActionKind::kCompute) {
+          sum += a.cost;
+        }
+      }
+      worst = worst < sum ? sum : worst;
+    }
+    return worst * compute_scale;
+  }
+};
+
+}  // namespace nxe
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_NXE_TRACE_H_

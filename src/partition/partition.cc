@@ -1,0 +1,371 @@
+#include "src/partition/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <set>
+
+namespace bunshin {
+namespace partition {
+namespace {
+
+// Item indices sorted by descending weight (stable for determinism).
+std::vector<size_t> DescendingOrder(const std::vector<double>& weights) {
+  std::vector<size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return weights[a] > weights[b]; });
+  return order;
+}
+
+PartitionResult Finalize(const std::vector<double>& weights, size_t n_bins,
+                         std::vector<std::vector<size_t>> bins) {
+  PartitionResult result;
+  result.bins = std::move(bins);
+  result.bins.resize(n_bins);
+  result.bin_sums.assign(n_bins, 0.0);
+  for (size_t b = 0; b < n_bins; ++b) {
+    for (size_t item : result.bins[b]) {
+      result.bin_sums[b] += weights[item];
+    }
+    std::sort(result.bins[b].begin(), result.bins[b].end());
+  }
+  result.total = std::accumulate(result.bin_sums.begin(), result.bin_sums.end(), 0.0);
+  result.max_sum = *std::max_element(result.bin_sums.begin(), result.bin_sums.end());
+  const double ideal = result.total / static_cast<double>(n_bins);
+  result.balance_ratio = ideal > 0.0 ? result.max_sum / ideal : 1.0;
+  return result;
+}
+
+// --- Greedy LPT -------------------------------------------------------------
+
+std::vector<std::vector<size_t>> GreedyLpt(const std::vector<double>& weights, size_t n_bins) {
+  std::vector<std::vector<size_t>> bins(n_bins);
+  std::vector<double> sums(n_bins, 0.0);
+  for (size_t item : DescendingOrder(weights)) {
+    const size_t target = static_cast<size_t>(
+        std::min_element(sums.begin(), sums.end()) - sums.begin());
+    bins[target].push_back(item);
+    sums[target] += weights[item];
+  }
+  return bins;
+}
+
+// --- Karmarkar–Karp (largest differencing, N-way) ---------------------------
+
+// A partial solution: N bins with sums, ordered descending by sum. Combining
+// two partials pairs the largest bin of one with the smallest of the other,
+// which "differences away" their mass.
+struct KkNode {
+  std::vector<double> sums;                   // descending
+  std::vector<std::vector<size_t>> bins;      // parallel to sums
+  double spread() const { return sums.front() - sums.back(); }
+};
+
+struct KkNodeLess {
+  bool operator()(const KkNode& a, const KkNode& b) const { return a.spread() < b.spread(); }
+};
+
+void SortNode(KkNode* node) {
+  std::vector<size_t> order(node->sums.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return node->sums[a] > node->sums[b]; });
+  std::vector<double> sums;
+  std::vector<std::vector<size_t>> bins;
+  for (size_t i : order) {
+    sums.push_back(node->sums[i]);
+    bins.push_back(std::move(node->bins[i]));
+  }
+  node->sums = std::move(sums);
+  node->bins = std::move(bins);
+}
+
+std::vector<std::vector<size_t>> KarmarkarKarp(const std::vector<double>& weights,
+                                               size_t n_bins) {
+  std::priority_queue<KkNode, std::vector<KkNode>, KkNodeLess> heap;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    KkNode node;
+    node.sums.assign(n_bins, 0.0);
+    node.bins.assign(n_bins, {});
+    node.sums[0] = weights[i];
+    node.bins[0] = {i};
+    heap.push(std::move(node));
+  }
+  if (heap.empty()) {
+    return std::vector<std::vector<size_t>>(n_bins);
+  }
+  while (heap.size() > 1) {
+    KkNode a = heap.top();
+    heap.pop();
+    KkNode b = heap.top();
+    heap.pop();
+    // Merge: a's k-th largest bin with b's k-th smallest bin.
+    KkNode merged;
+    merged.sums.resize(n_bins);
+    merged.bins.resize(n_bins);
+    for (size_t k = 0; k < n_bins; ++k) {
+      const size_t bk = n_bins - 1 - k;
+      merged.sums[k] = a.sums[k] + b.sums[bk];
+      merged.bins[k] = std::move(a.bins[k]);
+      merged.bins[k].insert(merged.bins[k].end(), b.bins[bk].begin(), b.bins[bk].end());
+    }
+    SortNode(&merged);
+    heap.push(std::move(merged));
+  }
+  return heap.top().bins;
+}
+
+// --- Complete greedy (branch and bound) -------------------------------------
+
+struct CgState {
+  const std::vector<double>* weights;
+  const std::vector<size_t>* order;
+  std::vector<double> suffix;  // suffix sums of ordered weights
+  size_t n_bins;
+  size_t nodes_left;
+  double best_max;
+  std::vector<size_t> best_assign;   // item order position -> bin
+  std::vector<size_t> cur_assign;
+  std::vector<double> sums;
+};
+
+void CgDfs(CgState* st, size_t pos) {
+  if (st->nodes_left == 0) {
+    return;
+  }
+  --st->nodes_left;
+  if (pos == st->order->size()) {
+    const double cur_max = *std::max_element(st->sums.begin(), st->sums.end());
+    if (cur_max < st->best_max) {
+      st->best_max = cur_max;
+      st->best_assign = st->cur_assign;
+    }
+    return;
+  }
+  const double w = (*st->weights)[(*st->order)[pos]];
+  // Lower bound: even perfectly spreading the remaining weight cannot beat
+  // best_max if some bin already exceeds it.
+  const double cur_max = *std::max_element(st->sums.begin(), st->sums.end());
+  if (cur_max >= st->best_max) {
+    return;
+  }
+
+  // Try bins in ascending-sum order; skip bins with equal sums (symmetry).
+  std::vector<size_t> bin_order(st->n_bins);
+  std::iota(bin_order.begin(), bin_order.end(), 0);
+  std::sort(bin_order.begin(), bin_order.end(),
+            [&](size_t a, size_t b) { return st->sums[a] < st->sums[b]; });
+  std::set<double> tried;
+  for (size_t b : bin_order) {
+    if (!tried.insert(st->sums[b]).second) {
+      continue;
+    }
+    st->sums[b] += w;
+    st->cur_assign[pos] = b;
+    CgDfs(st, pos + 1);
+    st->sums[b] -= w;
+    if (st->nodes_left == 0) {
+      return;
+    }
+  }
+}
+
+std::vector<std::vector<size_t>> CompleteGreedy(const std::vector<double>& weights, size_t n_bins,
+                                                size_t max_nodes) {
+  const std::vector<size_t> order = DescendingOrder(weights);
+  CgState st;
+  st.weights = &weights;
+  st.order = &order;
+  st.n_bins = n_bins;
+  st.nodes_left = max_nodes;
+  st.best_max = std::numeric_limits<double>::infinity();
+  st.cur_assign.assign(order.size(), 0);
+  st.sums.assign(n_bins, 0.0);
+
+  // Seed with the LPT solution so the budgeted search is anytime-good.
+  {
+    std::vector<double> sums(n_bins, 0.0);
+    std::vector<size_t> seed(order.size());
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const size_t target = static_cast<size_t>(
+          std::min_element(sums.begin(), sums.end()) - sums.begin());
+      seed[pos] = target;
+      sums[target] += weights[order[pos]];
+    }
+    st.best_max = *std::max_element(sums.begin(), sums.end());
+    st.best_assign = std::move(seed);
+  }
+
+  CgDfs(&st, 0);
+
+  std::vector<std::vector<size_t>> bins(n_bins);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    bins[st.best_assign[pos]].push_back(order[pos]);
+  }
+  return bins;
+}
+
+// --- FPTAS subset-sum peeling (the paper's polynomial scheme) ---------------
+
+// Finds a subset of `items` whose weight sum is as close as possible to
+// `target` (from below, preferring slightly-above when much closer), using a
+// scaled dynamic program whose resolution is epsilon * target.
+std::vector<size_t> SubsetNearTarget(const std::vector<double>& weights,
+                                     const std::vector<size_t>& items, double target,
+                                     double epsilon) {
+  if (items.empty()) {
+    return {};
+  }
+  double total = 0.0;
+  for (size_t i : items) {
+    total += weights[i];
+  }
+  if (total <= target) {
+    return items;  // take everything
+  }
+  // Scale weights to integers with resolution delta.
+  const double delta = std::max(epsilon * target / static_cast<double>(items.size()),
+                                1e-12);
+  const long cap = std::lround(target / delta) + 1;
+
+  // dp[s] = index into `items` of the last item used to reach scaled sum s,
+  // or -1 if unreachable; parent link via prev[s].
+  std::vector<long> from_item(static_cast<size_t>(cap) + 1, -2);
+  std::vector<long> prev_sum(static_cast<size_t>(cap) + 1, -1);
+  from_item[0] = -1;
+  for (size_t idx = 0; idx < items.size(); ++idx) {
+    const long w = std::lround(weights[items[idx]] / delta);
+    if (w <= 0) {
+      continue;  // zero-weight items are appended to the subset at the end
+    }
+    for (long s = cap; s >= w; --s) {
+      if (from_item[static_cast<size_t>(s)] == -2 &&
+          from_item[static_cast<size_t>(s - w)] != -2) {
+        from_item[static_cast<size_t>(s)] = static_cast<long>(idx);
+        prev_sum[static_cast<size_t>(s)] = s - w;
+      }
+    }
+  }
+  long best = 0;
+  for (long s = cap; s >= 0; --s) {
+    if (from_item[static_cast<size_t>(s)] != -2) {
+      best = s;
+      break;
+    }
+  }
+  std::vector<size_t> chosen;
+  for (long s = best; s > 0; s = prev_sum[static_cast<size_t>(s)]) {
+    chosen.push_back(items[static_cast<size_t>(from_item[static_cast<size_t>(s)])]);
+  }
+  return chosen;
+}
+
+std::vector<std::vector<size_t>> FptasPeel(const std::vector<double>& weights, size_t n_bins,
+                                           double epsilon) {
+  std::vector<size_t> remaining(weights.size());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<std::vector<size_t>> bins(n_bins);
+
+  double remaining_total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (size_t b = 0; b + 1 < n_bins && !remaining.empty(); ++b) {
+    const double target = remaining_total / static_cast<double>(n_bins - b);
+    std::vector<size_t> chosen = SubsetNearTarget(weights, remaining, target, epsilon);
+    std::set<size_t> chosen_set(chosen.begin(), chosen.end());
+    std::vector<size_t> next;
+    for (size_t i : remaining) {
+      if (chosen_set.count(i) == 0) {
+        next.push_back(i);
+      }
+    }
+    for (size_t i : chosen) {
+      remaining_total -= weights[i];
+    }
+    bins[b] = std::move(chosen);
+    remaining = std::move(next);
+  }
+  bins[n_bins - 1] = std::move(remaining);
+  return bins;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kGreedyLpt:
+      return "greedy-lpt";
+    case Algorithm::kKarmarkarKarp:
+      return "karmarkar-karp";
+    case Algorithm::kCompleteGreedy:
+      return "complete-greedy";
+    case Algorithm::kFptasSubsetSum:
+      return "fptas-subset-sum";
+  }
+  return "?";
+}
+
+StatusOr<PartitionResult> Partition(const std::vector<double>& weights, size_t n_bins,
+                                    const PartitionOptions& options) {
+  if (n_bins == 0) {
+    return InvalidArgument("n_bins must be >= 1");
+  }
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return InvalidArgument("weights must be finite and non-negative");
+    }
+  }
+  std::vector<std::vector<size_t>> bins;
+  switch (options.algorithm) {
+    case Algorithm::kGreedyLpt:
+      bins = GreedyLpt(weights, n_bins);
+      break;
+    case Algorithm::kKarmarkarKarp:
+      bins = KarmarkarKarp(weights, n_bins);
+      break;
+    case Algorithm::kCompleteGreedy:
+      bins = CompleteGreedy(weights, n_bins, options.max_nodes);
+      break;
+    case Algorithm::kFptasSubsetSum:
+      bins = FptasPeel(weights, n_bins, options.epsilon);
+      break;
+  }
+  return Finalize(weights, n_bins, std::move(bins));
+}
+
+Status ValidatePartition(const std::vector<double>& weights, const PartitionResult& result,
+                         size_t n_bins) {
+  if (result.bins.size() != n_bins) {
+    return Internal("wrong number of bins");
+  }
+  std::vector<int> seen(weights.size(), 0);
+  for (const auto& bin : result.bins) {
+    for (size_t item : bin) {
+      if (item >= weights.size()) {
+        return Internal("item index out of range");
+      }
+      if (++seen[item] > 1) {
+        return Internal("item " + std::to_string(item) + " assigned to multiple bins");
+      }
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] == 0) {
+      return Internal("item " + std::to_string(i) + " not assigned to any bin");
+    }
+  }
+  for (size_t b = 0; b < n_bins; ++b) {
+    double sum = 0.0;
+    for (size_t item : result.bins[b]) {
+      sum += weights[item];
+    }
+    if (std::abs(sum - result.bin_sums[b]) > 1e-9 * std::max(1.0, sum)) {
+      return Internal("bin sum mismatch for bin " + std::to_string(b));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace partition
+}  // namespace bunshin

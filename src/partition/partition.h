@@ -1,0 +1,65 @@
+// Balanced N-way number partitioning.
+//
+// Bunshin's variant generator must split protection units (functions for
+// check distribution, sub-sanitizers for sanitizer distribution) into N
+// disjoint subsets whose overhead sums are as equal as possible (Appendix A:
+// minimize sum_i |O_Vi - O_total/N|). Optimal N-partition is NP-complete
+// (Mertens), so the paper adopts a fast near-optimal polynomial scheme
+// (Kellerer et al.'s subset-sum FPTAS). We implement that plus the standard
+// alternatives so the ablation bench can compare them:
+//
+//   kGreedyLpt       longest-processing-time greedy, O(K log K)
+//   kKarmarkarKarp   largest differencing method generalized to N bins
+//   kCompleteGreedy  branch-and-bound DFS with a node budget (anytime-optimal)
+//   kFptasSubsetSum  repeatedly peel a subset closest to O_total/N via a
+//                    scaled subset-sum DP (the paper's choice)
+#ifndef BUNSHIN_SRC_PARTITION_PARTITION_H_
+#define BUNSHIN_SRC_PARTITION_PARTITION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace partition {
+
+enum class Algorithm { kGreedyLpt, kKarmarkarKarp, kCompleteGreedy, kFptasSubsetSum };
+
+const char* AlgorithmName(Algorithm algorithm);
+
+struct PartitionResult {
+  // bins[i] holds the indices (into the input weight vector) assigned to
+  // variant i. Every index appears in exactly one bin.
+  std::vector<std::vector<size_t>> bins;
+  std::vector<double> bin_sums;
+
+  double total = 0.0;
+  double max_sum = 0.0;
+  // max_sum / (total / N): 1.0 is the theoretical optimum of Appendix A.4.
+  double balance_ratio = 0.0;
+};
+
+struct PartitionOptions {
+  Algorithm algorithm = Algorithm::kKarmarkarKarp;
+  // Node budget for kCompleteGreedy.
+  size_t max_nodes = 200000;
+  // Scaling resolution for kFptasSubsetSum: epsilon of the FPTAS.
+  double epsilon = 0.01;
+};
+
+// Partitions `weights` (all >= 0) into `n_bins` subsets. n_bins >= 1 and
+// n_bins <= weights.size() is not required (empty bins are allowed).
+StatusOr<PartitionResult> Partition(const std::vector<double>& weights, size_t n_bins,
+                                    const PartitionOptions& options = {});
+
+// Validates the partition invariants: disjoint cover of [0, weights.size()),
+// bin sums consistent with weights. Used by tests and debug assertions.
+Status ValidatePartition(const std::vector<double>& weights, const PartitionResult& result,
+                         size_t n_bins);
+
+}  // namespace partition
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_PARTITION_PARTITION_H_

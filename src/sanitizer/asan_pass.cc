@@ -1,0 +1,160 @@
+#include "src/sanitizer/asan_pass.h"
+
+#include <vector>
+
+namespace bunshin {
+namespace san {
+
+namespace {
+
+// Rewrites one alloca: grow by 2 redzone words, shift the usable base one word
+// right, and poison the shadow of both redzones. Returns metadata instruction
+// count added.
+size_t InstrumentAlloca(ir::Function* fn, ir::InstId alloca_id, int64_t shadow_offset) {
+  ir::BlockId block = 0;
+  size_t index = 0;
+  if (!fn->Locate(alloca_id, &block, &index)) {
+    return 0;
+  }
+
+  ir::BasicBlock* bb = fn->block(block);
+  ir::Instruction& alloca_inst = bb->insts[index];
+  const ir::Value original_count = alloca_inst.operands[0];
+
+  // Grow the allocation. For a constant count we fold; otherwise we emit a
+  // metadata add placed before the alloca.
+  std::vector<ir::Instruction> before;
+  if (original_count.kind == ir::Value::Kind::kConst) {
+    alloca_inst.operands[0] = ir::Value::Const(original_count.imm + 2);
+  } else {
+    ir::Instruction grow = MakeInst(fn, ir::Opcode::kBinOp, ir::InstOrigin::kMetadata);
+    grow.bin_op = ir::BinOp::kAdd;
+    grow.operands = {original_count, ir::Value::Const(2)};
+    alloca_inst.operands[0] = ir::Value::Inst(grow.id);
+    before.push_back(std::move(grow));
+  }
+
+  // base = raw + 1; all original users of the alloca see `base`.
+  ir::Instruction base = MakeInst(fn, ir::Opcode::kBinOp, ir::InstOrigin::kMetadata);
+  base.bin_op = ir::BinOp::kAdd;
+  base.operands = {ir::Value::Inst(alloca_id), ir::Value::Const(1)};
+  const ir::InstId base_id = base.id;
+
+  // Redirect existing uses BEFORE emitting metadata that must keep using the
+  // raw pointer.
+  ReplaceAllUses(fn, alloca_id, ir::Value::Inst(base_id));
+
+  // Left redzone shadow: shadow(raw) = raw + offset; store 1.
+  ir::Instruction lsh = MakeInst(fn, ir::Opcode::kBinOp, ir::InstOrigin::kMetadata);
+  lsh.bin_op = ir::BinOp::kAdd;
+  lsh.operands = {ir::Value::Inst(alloca_id), ir::Value::Const(shadow_offset)};
+  ir::Instruction lstore = MakeInst(fn, ir::Opcode::kStore, ir::InstOrigin::kMetadata);
+  lstore.operands = {ir::Value::Inst(lsh.id), ir::Value::Const(1)};
+
+  // Right redzone address: raw + 1 + count == base + count.
+  ir::Instruction rz = MakeInst(fn, ir::Opcode::kBinOp, ir::InstOrigin::kMetadata);
+  rz.bin_op = ir::BinOp::kAdd;
+  rz.operands = {ir::Value::Inst(base_id), original_count};
+  ir::Instruction rsh = MakeInst(fn, ir::Opcode::kBinOp, ir::InstOrigin::kMetadata);
+  rsh.bin_op = ir::BinOp::kAdd;
+  rsh.operands = {ir::Value::Inst(rz.id), ir::Value::Const(shadow_offset)};
+  ir::Instruction rstore = MakeInst(fn, ir::Opcode::kStore, ir::InstOrigin::kMetadata);
+  rstore.operands = {ir::Value::Inst(rsh.id), ir::Value::Const(1)};
+
+  std::vector<ir::Instruction> after;
+  after.push_back(std::move(base));
+  after.push_back(std::move(lsh));
+  after.push_back(std::move(lstore));
+  after.push_back(std::move(rz));
+  after.push_back(std::move(rsh));
+  after.push_back(std::move(rstore));
+  const size_t metadata_count = before.size() + after.size();
+
+  // Re-locate in case indices moved (they have not yet — only now we insert).
+  InsertInstsAt(fn, block, index, std::move(before));
+  fn->Locate(alloca_id, &block, &index);
+  InsertInstsAt(fn, block, index + 1, std::move(after));
+  return metadata_count;
+}
+
+}  // namespace
+
+StatusOr<PassStats> AsanPass::RunOnFunction(ir::Function* fn) {
+  PassStats stats;
+
+  // Pass 1: collect the targets up front; the function mutates underneath us,
+  // so we work with stable instruction ids.
+  std::vector<ir::InstId> allocas;
+  std::vector<ir::InstId> loads;
+  std::vector<ir::InstId> stores;
+  for (const auto& bb : fn->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.origin != ir::InstOrigin::kOriginal) {
+        continue;  // never instrument another sanitizer's instrumentation
+      }
+      switch (inst.op) {
+        case ir::Opcode::kAlloca:
+          allocas.push_back(inst.id);
+          break;
+        case ir::Opcode::kLoad:
+          if (options_.instrument_loads) {
+            loads.push_back(inst.id);
+          }
+          break;
+        case ir::Opcode::kStore:
+          if (options_.instrument_stores) {
+            stores.push_back(inst.id);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  for (ir::InstId id : allocas) {
+    stats.metadata_instructions += InstrumentAlloca(fn, id, options_.shadow_offset);
+  }
+
+  auto instrument_access = [&](ir::InstId id, const char* handler) -> bool {
+    ir::BlockId block = 0;
+    size_t index = 0;
+    if (!fn->Locate(id, &block, &index)) {
+      return false;
+    }
+    const ir::Value addr = fn->block(block)->insts[index].operands[0];
+    return InsertCheckBefore(fn, id, handler, {addr}, [&](ir::IrBuilder& b) {
+      // shadow = load(addr + offset); fail when shadow != 0 (poisoned).
+      const ir::Value shadow_addr = b.Add(addr, ir::Value::Const(options_.shadow_offset));
+      const ir::Value shadow = b.Load(shadow_addr);
+      return b.Cmp(ir::CmpPred::kNe, shadow, ir::Value::Const(0));
+    });
+  };
+
+  for (ir::InstId id : loads) {
+    if (instrument_access(id, "__asan_report_load")) {
+      ++stats.checks_inserted;
+    }
+  }
+  for (ir::InstId id : stores) {
+    if (instrument_access(id, "__asan_report_store")) {
+      ++stats.checks_inserted;
+    }
+  }
+  return stats;
+}
+
+StatusOr<PassStats> AsanPass::Run(ir::Module* module) {
+  PassStats total;
+  for (const auto& fn : module->functions()) {
+    auto stats = RunOnFunction(fn.get());
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    total.Accumulate(*stats);
+  }
+  return total;
+}
+
+}  // namespace san
+}  // namespace bunshin

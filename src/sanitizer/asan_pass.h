@@ -1,0 +1,49 @@
+// AddressSanitizer model pass.
+//
+// Faithful to ASan's structure at our IR's granularity:
+//  * every alloca grows by two redzone words (left/right) and the shadow words
+//    covering the redzones are poisoned — metadata maintenance, tag kMetadata,
+//    kept in every variant;
+//  * every original load/store is preceded by a shadow check: compute the
+//    shadow address (base + kShadowOffset), load the shadow word, compare to
+//    zero, and branch to a sink block calling __asan_report_{load,store} and
+//    ending in unreachable — sanity check, tag kCheck, removable per variant.
+//
+// A contiguous buffer overflow therefore lands in a redzone whose shadow word
+// is poisoned and the check fires, exactly like ASan catches adjacent
+// overflows. An uninstrumented variant executes the same access silently.
+#ifndef BUNSHIN_SRC_SANITIZER_ASAN_PASS_H_
+#define BUNSHIN_SRC_SANITIZER_ASAN_PASS_H_
+
+#include "src/sanitizer/pass.h"
+
+namespace bunshin {
+namespace san {
+
+// Shadow mapping: shadow(addr) = addr + kDefaultShadowOffset. The program
+// region must stay below the offset; the interpreter's default memory
+// (1 Mi words) leaves the upper half for shadow.
+inline constexpr int64_t kDefaultShadowOffset = 1 << 19;
+
+struct AsanOptions {
+  int64_t shadow_offset = kDefaultShadowOffset;
+  bool instrument_loads = true;
+  bool instrument_stores = true;
+};
+
+class AsanPass : public InstrumentationPass {
+ public:
+  explicit AsanPass(AsanOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "asan"; }
+  StatusOr<PassStats> Run(ir::Module* module) override;
+  StatusOr<PassStats> RunOnFunction(ir::Function* fn) override;
+
+ private:
+  AsanOptions options_;
+};
+
+}  // namespace san
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SANITIZER_ASAN_PASS_H_

@@ -1,0 +1,90 @@
+#include "src/sanitizer/cookie_pass.h"
+
+#include <vector>
+
+namespace bunshin {
+namespace san {
+
+StatusOr<PassStats> CookiePass::RunOnFunction(ir::Function* fn) {
+  PassStats stats;
+
+  // Collect original allocas and returns up front; the function mutates.
+  std::vector<ir::InstId> allocas;
+  std::vector<ir::InstId> returns;
+  for (const auto& bb : fn->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.origin != ir::InstOrigin::kOriginal) {
+        continue;
+      }
+      if (inst.op == ir::Opcode::kAlloca) {
+        allocas.push_back(inst.id);
+      } else if (inst.op == ir::Opcode::kRet) {
+        returns.push_back(inst.id);
+      }
+    }
+  }
+  if (allocas.empty()) {
+    return stats;  // nothing to protect: no stack buffers
+  }
+
+  // Grow each alloca by one canary word and plant the canary after the
+  // buffer (metadata, kept in every variant).
+  std::vector<ir::InstId> canary_addrs;  // address-producing metadata insts
+  for (ir::InstId id : allocas) {
+    ir::BlockId block = 0;
+    size_t index = 0;
+    if (!fn->Locate(id, &block, &index)) {
+      continue;
+    }
+    ir::Instruction& alloca_inst = fn->block(block)->insts[index];
+    const ir::Value count = alloca_inst.operands[0];
+    if (count.kind == ir::Value::Kind::kConst) {
+      alloca_inst.operands[0] = ir::Value::Const(count.imm + 1);
+    } else {
+      continue;  // dynamic sizes: skip, like -fstack-protector does for VLAs
+    }
+
+    ir::Instruction addr = MakeInst(fn, ir::Opcode::kBinOp, ir::InstOrigin::kMetadata);
+    addr.bin_op = ir::BinOp::kAdd;
+    addr.operands = {ir::Value::Inst(id), count};
+    ir::Instruction plant = MakeInst(fn, ir::Opcode::kStore, ir::InstOrigin::kMetadata);
+    plant.operands = {ir::Value::Inst(addr.id), ir::Value::Const(options_.canary)};
+
+    canary_addrs.push_back(addr.id);
+    std::vector<ir::Instruction> seq;
+    seq.push_back(std::move(addr));
+    seq.push_back(std::move(plant));
+    stats.metadata_instructions += seq.size();
+    InsertInstsAt(fn, block, index + 1, std::move(seq));
+  }
+
+  // Before every return, verify every canary (check, removable).
+  for (ir::InstId ret : returns) {
+    for (ir::InstId addr : canary_addrs) {
+      const bool ok = InsertCheckBefore(
+          fn, ret, "__stack_chk_report", {ir::Value::Inst(addr)}, [&](ir::IrBuilder& b) {
+            const ir::Value current = b.Load(ir::Value::Inst(addr));
+            return b.Cmp(ir::CmpPred::kNe, current, ir::Value::Const(options_.canary));
+          });
+      if (ok) {
+        ++stats.checks_inserted;
+      }
+    }
+  }
+  return stats;
+}
+
+StatusOr<PassStats> CookiePass::Run(ir::Module* module) {
+  PassStats total;
+  for (const auto& fn : module->functions()) {
+    auto stats = RunOnFunction(fn.get());
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    total.Accumulate(*stats);
+  }
+  return total;
+}
+
+}  // namespace san
+}  // namespace bunshin

@@ -1,0 +1,39 @@
+// Stack-cookie (stack-protector) model pass.
+//
+// The classic sanitizer-style mechanism the paper lists first in §3.1: a
+// canary word is planted after each stack buffer at function entry
+// (metadata), and every return is preceded by a check that the canary is
+// intact, branching to __stack_chk_report + unreachable on corruption. A
+// linear stack overflow through the buffer tramples the canary and is caught
+// at function exit. Exercises the same discovery/removal structure as the
+// heavyweight sanitizers — and shows check distribution applies to it too.
+#ifndef BUNSHIN_SRC_SANITIZER_COOKIE_PASS_H_
+#define BUNSHIN_SRC_SANITIZER_COOKIE_PASS_H_
+
+#include "src/sanitizer/pass.h"
+
+namespace bunshin {
+namespace san {
+
+struct CookieOptions {
+  // The canary value; fixed for determinism (a real implementation
+  // randomizes per process — diversification the NXE could also exploit).
+  int64_t canary = 0x5A5A5A5A;
+};
+
+class CookiePass : public InstrumentationPass {
+ public:
+  explicit CookiePass(CookieOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "stack-cookie"; }
+  StatusOr<PassStats> Run(ir::Module* module) override;
+  StatusOr<PassStats> RunOnFunction(ir::Function* fn) override;
+
+ private:
+  CookieOptions options_;
+};
+
+}  // namespace san
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SANITIZER_COOKIE_PASS_H_

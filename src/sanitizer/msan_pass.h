@@ -1,0 +1,40 @@
+// MemorySanitizer model pass.
+//
+// Tracks definedness through shadow memory (same flat shadow mapping as the
+// ASan model, but with opposite polarity of meaning — which is precisely why
+// the two runtimes conflict and can never be linked together, §1):
+//  * every alloca's shadow range is poisoned (1 = uninitialized) — metadata;
+//  * every original store clears the shadow word of its target — metadata;
+//  * every original load is preceded by a check of its shadow word; a set
+//    shadow word branches to __msan_report_uninit + unreachable — check.
+//
+// This is a load-granularity simplification of MSan's use-granularity
+// propagation; a read of never-written memory is reported at the read.
+#ifndef BUNSHIN_SRC_SANITIZER_MSAN_PASS_H_
+#define BUNSHIN_SRC_SANITIZER_MSAN_PASS_H_
+
+#include "src/sanitizer/pass.h"
+
+namespace bunshin {
+namespace san {
+
+struct MsanOptions {
+  int64_t shadow_offset = 1 << 19;
+};
+
+class MsanPass : public InstrumentationPass {
+ public:
+  explicit MsanPass(MsanOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "msan"; }
+  StatusOr<PassStats> Run(ir::Module* module) override;
+  StatusOr<PassStats> RunOnFunction(ir::Function* fn) override;
+
+ private:
+  MsanOptions options_;
+};
+
+}  // namespace san
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SANITIZER_MSAN_PASS_H_

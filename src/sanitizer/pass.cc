@@ -1,0 +1,112 @@
+#include "src/sanitizer/pass.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bunshin {
+namespace san {
+
+ir::BlockId SplitBlockBefore(ir::Function* fn, ir::BlockId block, size_t index) {
+  ir::BasicBlock* bb = fn->block(block);
+  assert(bb != nullptr && index <= bb->insts.size());
+
+  // Record old successors before moving the terminator away.
+  const std::vector<ir::BlockId> old_succs = bb->Successors();
+
+  const ir::BlockId cont = fn->AddBlock(bb->label + ".cont");
+  // AddBlock may reallocate the block vector; re-fetch.
+  bb = fn->block(block);
+  ir::BasicBlock* cont_bb = fn->block(cont);
+
+  cont_bb->insts.assign(std::make_move_iterator(bb->insts.begin() + static_cast<long>(index)),
+                        std::make_move_iterator(bb->insts.end()));
+  bb->insts.erase(bb->insts.begin() + static_cast<long>(index), bb->insts.end());
+
+  // The terminator moved to `cont`, so successors' phi nodes must now name
+  // `cont` as the incoming predecessor instead of `block`.
+  for (ir::BlockId succ : old_succs) {
+    ir::BasicBlock* succ_bb = fn->block(succ);
+    for (auto& inst : succ_bb->insts) {
+      if (inst.op != ir::Opcode::kPhi) {
+        continue;
+      }
+      for (auto& incoming : inst.incomings) {
+        if (incoming.pred == block) {
+          incoming.pred = cont;
+        }
+      }
+    }
+  }
+  return cont;
+}
+
+bool InsertCheckBefore(ir::Function* fn, ir::InstId target_id, const std::string& handler,
+                       std::vector<ir::Value> handler_args,
+                       const std::function<ir::Value(ir::IrBuilder&)>& build_cond) {
+  ir::BlockId block = 0;
+  size_t index = 0;
+  if (!fn->Locate(target_id, &block, &index)) {
+    return false;
+  }
+
+  const ir::BlockId cont = SplitBlockBefore(fn, block, index);
+  const ir::BlockId sink = fn->AddBlock("san.sink");
+
+  ir::IrBuilder builder(fn);
+  builder.SetOrigin(ir::InstOrigin::kCheck);
+
+  // Condition computation + branch live in the prefix block.
+  builder.SetInsertPoint(block);
+  const ir::Value cond = build_cond(builder);
+  builder.CondBr(cond, sink, cont);
+
+  // Sink: report handler then unreachable — the structural signature the
+  // discovery step keys on (branch target + handler call + unreachable).
+  builder.SetInsertPoint(sink);
+  builder.Call(handler, std::move(handler_args));
+  builder.Unreachable();
+  return true;
+}
+
+size_t ReplaceAllUses(ir::Function* fn, ir::InstId from, ir::Value to) {
+  size_t count = 0;
+  for (auto& bb : fn->mutable_blocks()) {
+    for (auto& inst : bb.insts) {
+      if (inst.id == from) {
+        continue;  // don't rewrite the definition itself
+      }
+      for (auto& operand : inst.operands) {
+        if (operand.kind == ir::Value::Kind::kInst && operand.index == from) {
+          operand = to;
+          ++count;
+        }
+      }
+      for (auto& incoming : inst.incomings) {
+        if (incoming.value.kind == ir::Value::Kind::kInst && incoming.value.index == from) {
+          incoming.value = to;
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+void InsertInstsAt(ir::Function* fn, ir::BlockId block, size_t index,
+                   std::vector<ir::Instruction> insts) {
+  ir::BasicBlock* bb = fn->block(block);
+  assert(bb != nullptr && index <= bb->insts.size());
+  bb->insts.insert(bb->insts.begin() + static_cast<long>(index),
+                   std::make_move_iterator(insts.begin()), std::make_move_iterator(insts.end()));
+}
+
+ir::Instruction MakeInst(ir::Function* fn, ir::Opcode op, ir::InstOrigin origin) {
+  ir::Instruction inst;
+  inst.id = fn->NextInstId();
+  inst.op = op;
+  inst.origin = origin;
+  return inst;
+}
+
+}  // namespace san
+}  // namespace bunshin

@@ -1,0 +1,81 @@
+// Instrumentation pass infrastructure.
+//
+// A sanity check is inserted *before* a target instruction by splitting its
+// basic block: the prefix keeps the pre-instructions plus newly emitted
+// check-condition instructions and ends with a conditional branch to either a
+// fresh "sink" block (report handler call + unreachable) or the continuation
+// block holding the target instruction and the rest of the original block.
+// This is exactly the structure Bunshin §4.1's discovery step looks for.
+#ifndef BUNSHIN_SRC_SANITIZER_PASS_H_
+#define BUNSHIN_SRC_SANITIZER_PASS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ir/builder.h"
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace san {
+
+// Splits `block` before instruction index `index`: instructions [index, end)
+// move to a new continuation block; phi incomings in the old successors are
+// rewritten to name the continuation block. The original block is left
+// WITHOUT a terminator — the caller must append one. Returns the continuation
+// block id.
+ir::BlockId SplitBlockBefore(ir::Function* fn, ir::BlockId block, size_t index);
+
+// Emits check-condition instructions via `build_cond` (positioned at the end
+// of the split-off prefix, origin already set to kCheck), then a conditional
+// branch: condition != 0 jumps to a fresh sink block calling
+// `handler(handler_args...)` followed by `unreachable`; condition == 0 falls
+// through to the continuation. `target_id` identifies the instruction the
+// check guards (it will be the first instruction of the continuation block).
+//
+// Returns false if `target_id` is not found in the function.
+bool InsertCheckBefore(ir::Function* fn, ir::InstId target_id, const std::string& handler,
+                       std::vector<ir::Value> handler_args,
+                       const std::function<ir::Value(ir::IrBuilder&)>& build_cond);
+
+// Replaces every operand use of instruction `from` with `to` across the
+// function (including phi incomings). Returns the number of uses rewritten.
+size_t ReplaceAllUses(ir::Function* fn, ir::InstId from, ir::Value to);
+
+// Inserts a sequence of already-built instructions into `block` at `index`.
+// Instruction ids must come from fn->NextInstId().
+void InsertInstsAt(ir::Function* fn, ir::BlockId block, size_t index,
+                   std::vector<ir::Instruction> insts);
+
+// Creates a detached instruction with a fresh id, to be placed with
+// InsertInstsAt.
+ir::Instruction MakeInst(ir::Function* fn, ir::Opcode op, ir::InstOrigin origin);
+
+// Statistics every pass reports.
+struct PassStats {
+  size_t checks_inserted = 0;
+  size_t metadata_instructions = 0;
+
+  void Accumulate(const PassStats& other) {
+    checks_inserted += other.checks_inserted;
+    metadata_instructions += other.metadata_instructions;
+  }
+};
+
+// Interface shared by all sanitizer instrumentation passes.
+class InstrumentationPass {
+ public:
+  virtual ~InstrumentationPass() = default;
+  virtual std::string name() const = 0;
+  // Instruments every function in the module in place.
+  virtual StatusOr<PassStats> Run(ir::Module* module) = 0;
+  // Instruments a single function (used by check distribution to instrument
+  // only the functions assigned to one variant).
+  virtual StatusOr<PassStats> RunOnFunction(ir::Function* fn) = 0;
+};
+
+}  // namespace san
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SANITIZER_PASS_H_

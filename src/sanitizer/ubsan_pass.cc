@@ -1,0 +1,151 @@
+#include "src/sanitizer/ubsan_pass.h"
+
+#include <vector>
+
+namespace bunshin {
+namespace san {
+
+StatusOr<PassStats> UbsanPass::RunOnFunction(ir::Function* fn) {
+  PassStats stats;
+
+  struct Target {
+    ir::InstId id;
+    enum class Kind { kOverflowArith, kDiv, kShift, kMemAccess } kind;
+  };
+  std::vector<Target> targets;
+
+  for (const auto& bb : fn->blocks()) {
+    for (const auto& inst : bb.insts) {
+      if (inst.origin != ir::InstOrigin::kOriginal) {
+        continue;
+      }
+      switch (inst.op) {
+        case ir::Opcode::kBinOp:
+          switch (inst.bin_op) {
+            case ir::BinOp::kAdd:
+            case ir::BinOp::kSub:
+            case ir::BinOp::kMul:
+              if (options_.Enabled("signed-integer-overflow")) {
+                targets.push_back({inst.id, Target::Kind::kOverflowArith});
+              }
+              break;
+            case ir::BinOp::kDiv:
+            case ir::BinOp::kRem:
+              if (options_.Enabled("integer-divide-by-zero")) {
+                targets.push_back({inst.id, Target::Kind::kDiv});
+              }
+              break;
+            case ir::BinOp::kShl:
+            case ir::BinOp::kShr:
+              if (options_.Enabled("shift")) {
+                targets.push_back({inst.id, Target::Kind::kShift});
+              }
+              break;
+            default:
+              break;
+          }
+          break;
+        case ir::Opcode::kLoad:
+        case ir::Opcode::kStore:
+          if (options_.Enabled("null")) {
+            targets.push_back({inst.id, Target::Kind::kMemAccess});
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  for (const Target& target : targets) {
+    ir::BlockId block = 0;
+    size_t index = 0;
+    if (!fn->Locate(target.id, &block, &index)) {
+      continue;
+    }
+    const ir::Instruction inst = fn->block(block)->insts[index];  // copy: block will split
+    bool inserted = false;
+
+    switch (target.kind) {
+      case Target::Kind::kOverflowArith: {
+        const ir::Value a = inst.operands[0];
+        const ir::Value b = inst.operands[1];
+        const ir::BinOp op = inst.bin_op;
+        inserted = InsertCheckBefore(fn, target.id, "__ubsan_report_signed_integer_overflow",
+                                     {a, b}, [&](ir::IrBuilder& bld) {
+          const ir::Value zero = ir::Value::Const(0);
+          if (op == ir::BinOp::kMul) {
+            // a != 0 && (a*b)/a != b  (division is safe: divisor forced to 1
+            // when a == 0 via select).
+            const ir::Value a_is_zero = bld.Cmp(ir::CmpPred::kEq, a, zero);
+            const ir::Value safe_a = bld.Select(a_is_zero, ir::Value::Const(1), a);
+            const ir::Value prod = bld.Mul(a, b);
+            const ir::Value quot = bld.Div(prod, safe_a);
+            const ir::Value mismatch = bld.Cmp(ir::CmpPred::kNe, quot, b);
+            const ir::Value a_nonzero = bld.Cmp(ir::CmpPred::kNe, a, zero);
+            return bld.And(a_nonzero, mismatch);
+          }
+          // add: overflow iff sign(a) == sign(b) && sign(a+b) != sign(a).
+          // sub: overflow iff sign(a) != sign(b) && sign(a-b) != sign(a).
+          const ir::Value result =
+              op == ir::BinOp::kAdd ? bld.Add(a, b) : bld.Sub(a, b);
+          const ir::Value a_neg = bld.Cmp(ir::CmpPred::kLt, a, zero);
+          const ir::Value b_neg = bld.Cmp(ir::CmpPred::kLt, b, zero);
+          const ir::Value r_neg = bld.Cmp(ir::CmpPred::kLt, result, zero);
+          const ir::Value same_sign = op == ir::BinOp::kAdd
+                                          ? bld.Cmp(ir::CmpPred::kEq, a_neg, b_neg)
+                                          : bld.Cmp(ir::CmpPred::kNe, a_neg, b_neg);
+          const ir::Value flipped = bld.Cmp(ir::CmpPred::kNe, r_neg, a_neg);
+          return bld.And(same_sign, flipped);
+        });
+        break;
+      }
+      case Target::Kind::kDiv: {
+        const ir::Value b = inst.operands[1];
+        inserted = InsertCheckBefore(fn, target.id, "__ubsan_report_integer_divide_by_zero", {b},
+                                     [&](ir::IrBuilder& bld) {
+                                       return bld.Cmp(ir::CmpPred::kEq, b, ir::Value::Const(0));
+                                     });
+        break;
+      }
+      case Target::Kind::kShift: {
+        const ir::Value b = inst.operands[1];
+        inserted = InsertCheckBefore(
+            fn, target.id, "__ubsan_report_shift_out_of_bounds", {b}, [&](ir::IrBuilder& bld) {
+              const ir::Value neg = bld.Cmp(ir::CmpPred::kLt, b, ir::Value::Const(0));
+              const ir::Value big = bld.Cmp(ir::CmpPred::kGe, b, ir::Value::Const(64));
+              return bld.BinaryOp(ir::BinOp::kOr, neg, big);
+            });
+        break;
+      }
+      case Target::Kind::kMemAccess: {
+        const ir::Value addr = inst.operands[0];
+        inserted = InsertCheckBefore(fn, target.id, "__ubsan_report_null_pointer_use", {addr},
+                                     [&](ir::IrBuilder& bld) {
+                                       return bld.Cmp(ir::CmpPred::kEq, addr,
+                                                      ir::Value::Const(0));
+                                     });
+        break;
+      }
+    }
+    if (inserted) {
+      ++stats.checks_inserted;
+    }
+  }
+  return stats;
+}
+
+StatusOr<PassStats> UbsanPass::Run(ir::Module* module) {
+  PassStats total;
+  for (const auto& fn : module->functions()) {
+    auto stats = RunOnFunction(fn.get());
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    total.Accumulate(*stats);
+  }
+  return total;
+}
+
+}  // namespace san
+}  // namespace bunshin

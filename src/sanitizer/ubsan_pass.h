@@ -1,0 +1,50 @@
+// UndefinedBehaviorSanitizer model pass.
+//
+// UBSan is a bundle of independent sub-sanitizers (19 in the paper, see
+// UBSanSubSanitizers()). Four of them have concrete IR instrumentation here:
+//
+//   signed-integer-overflow  checks add/sub/mul for two's-complement overflow
+//   integer-divide-by-zero   checks div/rem for a zero divisor
+//   shift                    checks shift amounts outside [0, 63]
+//   null                     checks loads/stores for a null (0) address
+//
+// The remaining sub-sanitizers contribute to sanitizer distribution via their
+// calibrated overhead numbers only (they guard constructs our mini-IR does
+// not model, e.g. vptr or float casts).
+//
+// The pass takes the *set of enabled sub-sanitizers* — that is exactly the
+// unit Bunshin's sanitizer distribution splits across variants (§3.1).
+#ifndef BUNSHIN_SRC_SANITIZER_UBSAN_PASS_H_
+#define BUNSHIN_SRC_SANITIZER_UBSAN_PASS_H_
+
+#include <set>
+#include <string>
+
+#include "src/sanitizer/pass.h"
+
+namespace bunshin {
+namespace san {
+
+struct UbsanOptions {
+  // Names from UBSanSubSanitizers(); empty means "all".
+  std::set<std::string> enabled;
+
+  bool Enabled(const std::string& sub) const { return enabled.empty() || enabled.count(sub) > 0; }
+};
+
+class UbsanPass : public InstrumentationPass {
+ public:
+  explicit UbsanPass(UbsanOptions options = {}) : options_(std::move(options)) {}
+
+  std::string name() const override { return "ubsan"; }
+  StatusOr<PassStats> Run(ir::Module* module) override;
+  StatusOr<PassStats> RunOnFunction(ir::Function* fn) override;
+
+ private:
+  UbsanOptions options_;
+};
+
+}  // namespace san
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SANITIZER_UBSAN_PASS_H_

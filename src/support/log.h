@@ -1,0 +1,43 @@
+// Minimal leveled logging. Off by default above kWarning so tests stay quiet;
+// benches and examples may raise the level for progress output.
+#ifndef BUNSHIN_SRC_SUPPORT_LOG_H_
+#define BUNSHIN_SRC_SUPPORT_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace bunshin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr with a level prefix, if enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace bunshin
+
+#define BUNSHIN_LOG(level) ::bunshin::log_internal::LineLogger(::bunshin::LogLevel::level)
+
+#endif  // BUNSHIN_SRC_SUPPORT_LOG_H_

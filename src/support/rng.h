@@ -1,0 +1,51 @@
+// Deterministic PRNG used everywhere randomness is needed.
+//
+// All Bunshin simulations must be reproducible run-to-run, so no component may
+// use std::random_device or time-based seeding. Xoshiro256** is fast, has a
+// 256-bit state, and passes BigCrush.
+#ifndef BUNSHIN_SRC_SUPPORT_RNG_H_
+#define BUNSHIN_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace bunshin {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to avoid
+  // modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Standard normal via Box-Muller, scaled to (mean, stddev).
+  double NextGaussian(double mean, double stddev);
+
+  // Derive an independent child stream; children with distinct salts are
+  // statistically independent of the parent and each other.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SUPPORT_RNG_H_

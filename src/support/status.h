@@ -1,0 +1,129 @@
+// Lightweight Status / StatusOr types used across the Bunshin libraries.
+//
+// We deliberately avoid exceptions in library code (os-systems style): fallible
+// operations return Status or StatusOr<T> and callers must inspect the result.
+#ifndef BUNSHIN_SRC_SUPPORT_STATUS_H_
+#define BUNSHIN_SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bunshin {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kAlreadyExists,
+};
+
+// Human-readable name for a status code (for logs and test failure messages).
+const char* StatusCodeName(StatusCode code);
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+  }
+  return "UNKNOWN";
+}
+
+// A cheap value type carrying success or an error code + message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+
+// StatusOr<T>: either a value or an error Status. Accessing value() on an
+// error is a programming bug and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}                     // NOLINT(runtime/explicit)
+  StatusOr(T&& value) : value_(std::move(value)) {}               // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {          // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SUPPORT_STATUS_H_

@@ -1,0 +1,35 @@
+// ASCII table rendering for benchmark harness output. Each bench binary
+// regenerates one of the paper's tables/figures as rows printed through this.
+#ifndef BUNSHIN_SRC_SUPPORT_TABLE_H_
+#define BUNSHIN_SRC_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace bunshin {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header separator.
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Formats a fraction as a percentage string, e.g. 0.081 -> "8.1%".
+  static std::string Pct(double fraction, int decimals = 1);
+  // Formats a double with fixed decimals.
+  static std::string Num(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SUPPORT_TABLE_H_

@@ -1,0 +1,297 @@
+#include "src/workload/tracegen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/rng.h"
+
+namespace bunshin {
+namespace workload {
+namespace {
+
+// Benign syscall record for slot `i` of the template, honoring the IO mix.
+sc::SyscallRecord TemplateSyscall(size_t i, double io_write_frac, Rng* rng) {
+  sc::SyscallRecord rec;
+  if (rng->NextBool(io_write_frac)) {
+    rec.no = sc::Sysno::kWrite;
+    rec.args = {1, static_cast<int64_t>(64 + rng->NextBounded(4032)), 0, 0, 0, 0};
+    rec.payload_digest = sc::DigestString("out#" + std::to_string(i));
+  } else {
+    switch (rng->NextBounded(4)) {
+      case 0:
+        rec.no = sc::Sysno::kRead;
+        rec.args = {3, static_cast<int64_t>(rng->NextBounded(8192)), 0, 0, 0, 0};
+        break;
+      case 1:
+        rec.no = sc::Sysno::kOpen;
+        rec.payload_digest = sc::DigestString("file#" + std::to_string(rng->NextBounded(32)));
+        break;
+      case 2:
+        rec.no = sc::Sysno::kFstat;
+        rec.args = {3, 0, 0, 0, 0, 0};
+        break;
+      default:
+        rec.no = sc::Sysno::kClose;
+        rec.args = {3, 0, 0, 0, 0, 0};
+        break;
+    }
+  }
+  return rec;
+}
+
+// Applies the variant's scheduling jitter to a template compute cost. OS
+// noise behaves like a random walk over the segment, so the absolute
+// deviation grows with sqrt(cost): long compute bursts between syscalls
+// absorb proportionally less jitter than dense syscall bursts.
+// `scale` is the variant's sanitizer slowdown: the engine multiplies every
+// compute cost by it, but OS jitter is a property of wall-clock time, not of
+// the instrumentation, so the deviation is divided out here to be
+// scale-invariant after the engine's multiplication.
+double Jitter(double cost, double sigma_coeff, double scale, Rng* rng) {
+  if (cost <= 0.0) {
+    return cost;
+  }
+  const double sigma_abs = sigma_coeff * std::sqrt(cost) / std::max(1.0, scale);
+  double jittered = std::max(0.05 * cost, cost + rng->NextGaussian(0.0, sigma_abs));
+  // Occasionally the OS preempts the process for a scheduling quantum — a
+  // heavy-tailed burst that lets the leader run several syscalls ahead of a
+  // follower in selective mode (the §5.3 gap measurements).
+  if (rng->NextBool(0.004)) {
+    jittered += (60.0 + rng->NextExponential(50.0)) / std::max(1.0, scale);
+  }
+  return jittered;
+}
+
+void AddSanitizerRuntimeSyscalls(const VariantSpec& variant, nxe::VariantTrace* trace) {
+  for (san::SanitizerId id : variant.sanitizers) {
+    const auto& info = san::GetSanitizer(id);
+    for (const auto& entry : info.introduced.pre_launch) {
+      trace->pre_main.push_back(sc::ParseIntroducedSyscall(entry));
+    }
+    for (const auto& entry : info.introduced.post_exit) {
+      trace->post_exit.push_back(sc::ParseIntroducedSyscall(entry));
+    }
+  }
+}
+
+// Inserts the in-execution memory-management syscalls a sanitizer runtime
+// issues, spread across the thread's timeline. These are *not* in the
+// template — each variant has different ones — which is exactly why the NXE
+// must ignore them (§3.3).
+void SprinkleMemoryManagement(const VariantSpec& variant, Rng* rng, nxe::ThreadTrace* thread) {
+  if (variant.sanitizers.empty() || thread->actions.empty()) {
+    return;
+  }
+  size_t mm_count = 0;
+  for (san::SanitizerId id : variant.sanitizers) {
+    mm_count += san::GetSanitizer(id).introduced.in_execution.size() * 3;
+  }
+  for (size_t i = 0; i < mm_count; ++i) {
+    sc::SyscallRecord rec;
+    rec.no = (rng->NextBounded(2) == 0) ? sc::Sysno::kMmap : sc::Sysno::kMadvise;
+    rec.args = {static_cast<int64_t>(rng->NextBounded(1 << 20)), 4096, 0, 0, 0, 0};
+    const size_t pos = rng->NextBounded(thread->actions.size());
+    thread->actions.insert(thread->actions.begin() + static_cast<long>(pos),
+                           nxe::ThreadAction::Syscall(rec));
+  }
+}
+
+}  // namespace
+
+nxe::VariantTrace BuildTrace(const BenchmarkSpec& bench, const VariantSpec& variant,
+                             uint64_t workload_seed) {
+  nxe::VariantTrace trace;
+  trace.name = variant.name;
+  trace.compute_scale = variant.compute_scale;
+
+  const size_t threads = std::max<size_t>(1, bench.threads);
+  trace.threads.resize(threads);
+
+  Rng template_rng(workload_seed);
+  Rng jitter_rng(variant.jitter_seed * 0x9E3779B97F4A7C15ULL + 17);
+  Rng mm_rng = jitter_rng.Fork(0xABCD);
+
+  const double compute_per_thread = bench.total_compute / static_cast<double>(threads);
+  const size_t syscalls_per_thread = std::max<size_t>(1, bench.n_syscalls / threads);
+  const size_t locks_per_thread =
+      static_cast<size_t>(bench.locks_per_kilo * compute_per_thread / 1000.0);
+  const size_t barriers = bench.barriers;
+
+  // Segment layout per thread: syscalls, locks, and barriers interleaved with
+  // compute. The template decides positions; both structure and records must
+  // match across variants, so all structural draws come from template_rng
+  // forks seeded identically per thread.
+  for (size_t t = 0; t < threads; ++t) {
+    Rng struct_rng = Rng(workload_seed ^ (0x5DEECE66DULL * (t + 1)));
+    nxe::ThreadTrace& thread = trace.threads[t];
+
+    // Build the ordered list of sync events for this thread.
+    struct Ev {
+      enum class Type { kSyscall, kLock, kBarrier } type;
+      sc::SyscallRecord rec;
+      uint32_t id;
+    };
+    std::vector<Ev> events;
+    events.reserve(syscalls_per_thread + locks_per_thread + barriers);
+    for (size_t i = 0; i < syscalls_per_thread; ++i) {
+      events.push_back(
+          {Ev::Type::kSyscall, TemplateSyscall(t * 100000 + i, bench.io_write_frac, &struct_rng),
+           0});
+    }
+    for (size_t i = 0; i < locks_per_thread; ++i) {
+      events.push_back(
+          {Ev::Type::kLock, {}, static_cast<uint32_t>(struct_rng.NextBounded(8))});
+    }
+    // Shuffle syscalls and locks deterministically (Fisher-Yates).
+    for (size_t i = events.size(); i > 1; --i) {
+      std::swap(events[i - 1], events[struct_rng.NextBounded(i)]);
+    }
+    // Barriers are global rendezvous: same positions (relative) in every
+    // thread — append at evenly spaced indices.
+    if (barriers > 0) {
+      const size_t stride = events.size() / (barriers + 1) + 1;
+      size_t inserted = 0;
+      for (size_t b = 0; b < barriers; ++b) {
+        const size_t pos = std::min(events.size(), (b + 1) * stride + inserted);
+        events.insert(events.begin() + static_cast<long>(pos),
+                      {Ev::Type::kBarrier, {}, static_cast<uint32_t>(b)});
+        ++inserted;
+      }
+    }
+
+    const double mean_segment =
+        compute_per_thread / static_cast<double>(events.size() + 1);
+    for (const auto& ev : events) {
+      // Template segment cost jittered per variant (scheduling noise).
+      const double base = mean_segment * (0.5 + struct_rng.NextDouble());
+      thread.actions.push_back(
+          nxe::ThreadAction::Compute(
+              Jitter(base, bench.noise_rel_sigma, variant.compute_scale, &jitter_rng)));
+      switch (ev.type) {
+        case Ev::Type::kSyscall:
+          thread.actions.push_back(nxe::ThreadAction::Syscall(ev.rec));
+          break;
+        case Ev::Type::kLock:
+          thread.actions.push_back(nxe::ThreadAction::Lock(ev.id));
+          thread.actions.push_back(nxe::ThreadAction::Compute(mean_segment * 0.05));
+          thread.actions.push_back(nxe::ThreadAction::Unlock(ev.id));
+          break;
+        case Ev::Type::kBarrier:
+          thread.actions.push_back(nxe::ThreadAction::Barrier(ev.id));
+          break;
+      }
+    }
+    thread.actions.push_back(
+        nxe::ThreadAction::Compute(
+        Jitter(mean_segment, bench.noise_rel_sigma, variant.compute_scale, &jitter_rng)));
+    thread.actions.push_back(nxe::ThreadAction::Exit());
+
+    SprinkleMemoryManagement(variant, &mm_rng, &thread);
+  }
+
+  AddSanitizerRuntimeSyscalls(variant, &trace);
+  return trace;
+}
+
+std::vector<nxe::VariantTrace> BuildIdenticalVariants(const BenchmarkSpec& bench, size_t n,
+                                                      uint64_t workload_seed) {
+  std::vector<nxe::VariantTrace> variants;
+  variants.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    VariantSpec spec;
+    spec.name = "v" + std::to_string(v);
+    spec.jitter_seed = 1000 + v;
+    variants.push_back(BuildTrace(bench, spec, workload_seed));
+  }
+  return variants;
+}
+
+nxe::VariantTrace BuildServerTrace(const ServerSpec& server, const VariantSpec& variant,
+                                   uint64_t workload_seed) {
+  nxe::VariantTrace trace;
+  trace.name = variant.name;
+  trace.compute_scale = variant.compute_scale;
+  trace.threads.resize(std::max<size_t>(1, server.threads));
+
+  Rng jitter_rng(variant.jitter_seed * 0x9E3779B97F4A7C15ULL + 29);
+  // Queueing pressure from concurrent connections: more in-flight requests
+  // means noisier scheduling around each request.
+  const double queue_sigma =
+      server.noise_rel_sigma * (1.0 + static_cast<double>(server.concurrency) / 2048.0);
+
+  const bool large = server.file_kb >= 1024;
+  const size_t chunks = large ? 16 : 1;
+  // Calibrated so baseline per-request times land near Table 2's
+  // microsecond figures (1KB ~10us, 1MB ~960us at 0.1us/cycle).
+  const double parse_compute = large ? 160.0 : 55.0;
+  const double read_compute = large ? 9200.0 : 18.0;
+
+  for (size_t t = 0; t < trace.threads.size(); ++t) {
+    Rng struct_rng = Rng(workload_seed ^ (0xC0FFEEULL * (t + 1)));
+    nxe::ThreadTrace& thread = trace.threads[t];
+    const size_t reqs = server.requests / trace.threads.size();
+    for (size_t r = 0; r < reqs; ++r) {
+      const std::string req_tag =
+          "req#" + std::to_string(t) + "/" + std::to_string(r);
+
+      sc::SyscallRecord accept;
+      accept.no = sc::Sysno::kAccept;
+      accept.args = {4, 0, 0, 0, 0, 0};
+      thread.actions.push_back(nxe::ThreadAction::Syscall(accept));
+
+      thread.actions.push_back(
+          nxe::ThreadAction::Compute(
+          Jitter(parse_compute, queue_sigma, variant.compute_scale, &jitter_rng)));
+
+      sc::SyscallRecord open;
+      open.no = sc::Sysno::kOpen;
+      open.payload_digest = sc::DigestString("www/file" + std::to_string(struct_rng.NextBounded(8)));
+      thread.actions.push_back(nxe::ThreadAction::Syscall(open));
+
+      sc::SyscallRecord read;
+      read.no = sc::Sysno::kRead;
+      read.args = {5, static_cast<int64_t>(server.file_kb * 1024), 0, 0, 0, 0};
+      thread.actions.push_back(nxe::ThreadAction::Syscall(read));
+      thread.actions.push_back(
+          nxe::ThreadAction::Compute(
+          Jitter(read_compute, queue_sigma, variant.compute_scale, &jitter_rng)));
+
+      for (size_t c = 0; c < chunks; ++c) {
+        sc::SyscallRecord write;
+        write.no = sc::Sysno::kWrite;
+        write.args = {6, static_cast<int64_t>(server.file_kb * 1024 / chunks), 0, 0, 0, 0};
+        write.payload_digest = sc::DigestString(req_tag + "#chunk" + std::to_string(c));
+        thread.actions.push_back(nxe::ThreadAction::Syscall(write));
+        if (large) {
+          thread.actions.push_back(
+              nxe::ThreadAction::Compute(Jitter(34.0, queue_sigma, variant.compute_scale, &jitter_rng)));
+        }
+      }
+
+      sc::SyscallRecord close;
+      close.no = sc::Sysno::kClose;
+      close.args = {6, 0, 0, 0, 0, 0};
+      thread.actions.push_back(nxe::ThreadAction::Syscall(close));
+    }
+    thread.actions.push_back(nxe::ThreadAction::Exit());
+  }
+
+  AddSanitizerRuntimeSyscalls(variant, &trace);
+  return trace;
+}
+
+std::vector<nxe::VariantTrace> BuildIdenticalServerVariants(const ServerSpec& server, size_t n,
+                                                            uint64_t workload_seed) {
+  std::vector<nxe::VariantTrace> variants;
+  variants.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    VariantSpec spec;
+    spec.name = "v" + std::to_string(v);
+    spec.jitter_seed = 2000 + v;
+    variants.push_back(BuildServerTrace(server, spec, workload_seed));
+  }
+  return variants;
+}
+
+}  // namespace workload
+}  // namespace bunshin

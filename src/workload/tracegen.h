@@ -1,0 +1,69 @@
+// Deterministic trace generation from benchmark specs.
+//
+// The *template* (benign syscall records, compute segmentation, lock/barrier
+// structure) is a pure function of the workload seed, so every variant of a
+// benchmark issues exactly the same sync-relevant syscall sequence — the
+// N-version invariant. Per-variant differences are:
+//   * compute_scale (the sanitizer slowdown the variant carries),
+//   * scheduling jitter (a per-variant multiplicative noise stream — clones
+//     of one binary do not run in perfectly identical time),
+//   * sanitizer-introduced syscalls (pre-main, in-execution memory
+//     management, post-exit) taken from the sanitizer catalog.
+#ifndef BUNSHIN_SRC_WORKLOAD_TRACEGEN_H_
+#define BUNSHIN_SRC_WORKLOAD_TRACEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nxe/trace.h"
+#include "src/sanitizer/sanitizer.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace workload {
+
+struct VariantSpec {
+  std::string name = "v";
+  double compute_scale = 1.0;
+  // Seed of this variant's scheduling-noise stream. Different seeds model OS
+  // jitter between clones; equal seeds give bit-identical timing.
+  uint64_t jitter_seed = 1;
+  // Sanitizers whose runtime syscalls this variant carries.
+  std::vector<san::SanitizerId> sanitizers;
+};
+
+// Builds the trace of one variant of `bench`. Two calls with the same
+// workload_seed produce the same sync-relevant syscall sequence regardless of
+// the VariantSpec.
+nxe::VariantTrace BuildTrace(const BenchmarkSpec& bench, const VariantSpec& variant,
+                             uint64_t workload_seed);
+
+// Convenience: N clones of the benchmark (identical binary, distinct jitter),
+// as used in the NXE-efficiency experiments (§5.1/§5.2).
+std::vector<nxe::VariantTrace> BuildIdenticalVariants(const BenchmarkSpec& bench, size_t n,
+                                                      uint64_t workload_seed);
+
+// --- Servers (Table 2) -------------------------------------------------------
+
+struct ServerSpec {
+  std::string name = "lighttpd";
+  size_t threads = 1;          // nginx runs 4 worker threads
+  size_t requests = 64;        // requests simulated per run
+  size_t file_kb = 1;          // 1 (1KB) or 1024 (1MB)
+  size_t concurrency = 64;     // concurrent connections (64/512/1024)
+  double noise_rel_sigma = 0.18;
+};
+
+// Builds one variant of the server request-processing loop. Each request is
+// accept/open/read/write.../close with parse compute; 1MB responses issue 16
+// chunked writes. Concurrency adds queueing jitter.
+nxe::VariantTrace BuildServerTrace(const ServerSpec& server, const VariantSpec& variant,
+                                   uint64_t workload_seed);
+
+std::vector<nxe::VariantTrace> BuildIdenticalServerVariants(const ServerSpec& server, size_t n,
+                                                            uint64_t workload_seed);
+
+}  // namespace workload
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_WORKLOAD_TRACEGEN_H_

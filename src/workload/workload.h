@@ -1,0 +1,78 @@
+// Synthetic benchmark workloads, calibrated to the paper's evaluation.
+//
+// The authors ran SPEC2006, SPLASH-2x, PARSEC, and the lighttpd/nginx
+// servers. Those binaries (and their hardware) are not available here, so
+// each benchmark is described by a parameter record — compute volume, syscall
+// density and IO mix, scheduling noise, thread/lock structure, cache
+// sensitivity, per-sanitizer slowdowns, and function-profile shape — from
+// which deterministic traces and overhead profiles are generated. The
+// parameter values are calibrated so the *distributions* match what the paper
+// reports (e.g. ASan mean 107% with hmmer/lbm dominated by one hot function;
+// UBSan mean 228% with dealII/xalancbmk extreme; MSan unsupported on gcc).
+#ifndef BUNSHIN_SRC_WORKLOAD_WORKLOAD_H_
+#define BUNSHIN_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bunshin {
+namespace workload {
+
+enum class Suite { kSpec2006, kSplash2x, kParsec, kServer };
+
+struct SanitizerOverheads {
+  double asan = 1.0;   // whole-program slowdown fraction
+  double msan = 1.5;   // ignored when msan_supported == false
+  double ubsan = 2.0;  // all sub-sanitizers together
+  bool msan_supported = true;
+};
+
+struct BenchmarkSpec {
+  std::string name;
+  Suite suite = Suite::kSpec2006;
+
+  // Program shape.
+  size_t n_functions = 200;
+  double hottest_share = 0.25;  // fraction of runtime in the hottest function
+  double func_rate_sigma = 0.3;  // per-function check-cost rate dispersion
+
+  // Trace shape.
+  double total_compute = 20000.0;  // abstract cycles per run
+  size_t n_syscalls = 200;         // sync-relevant syscalls per run
+  double io_write_frac = 0.25;     // fraction of syscalls that are IO-write
+  double noise_rel_sigma = 0.52;   // jitter coefficient: sigma = coeff*sqrt(segment)
+
+  // Threading (1 for SPEC).
+  size_t threads = 1;
+  double locks_per_kilo = 0.0;    // lock acquisitions per 1000 compute cycles/thread
+  size_t barriers = 0;            // barrier episodes per run
+
+  double cache_sensitivity = 1.0;
+
+  SanitizerOverheads overheads;
+
+  // PARSEC programs Bunshin cannot run (§5.1) carry the reason.
+  std::optional<std::string> unsupported_reason;
+};
+
+// The 19 SPEC2006 C/C++ benchmarks of Figures 3/5/6/7/8/9.
+const std::vector<BenchmarkSpec>& Spec2006();
+
+// The 13 SPLASH-2x programs of Figure 4.
+const std::vector<BenchmarkSpec>& Splash2x();
+
+// All 13 PARSEC programs; 6 run under the NXE, 7 carry unsupported_reason
+// (raytrace, canneal, facesim, ferret, x264, fluidanimate, freqmine — §5.1).
+const std::vector<BenchmarkSpec>& Parsec();
+
+// Convenience: only the runnable PARSEC programs (the 6 of Figure 4).
+std::vector<BenchmarkSpec> ParsecSupported();
+
+// Look up any benchmark by name across all suites; nullptr when absent.
+const BenchmarkSpec* FindBenchmark(const std::string& name);
+
+}  // namespace workload
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_WORKLOAD_WORKLOAD_H_

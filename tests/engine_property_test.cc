@@ -1,0 +1,91 @@
+// Parameterized property sweep over the engine: every supported benchmark x
+// lockstep mode x variant count must complete without false positives, cost
+// at least the baseline, and report consistent telemetry.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/nxe/engine.h"
+#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace {
+
+class EngineSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, nxe::LockstepMode, size_t>> {};
+
+TEST_P(EngineSweepTest, CompletesWithSaneReport) {
+  const auto& [bench_name, mode, n_variants] = GetParam();
+  const auto* spec = workload::FindBenchmark(bench_name);
+  ASSERT_NE(spec, nullptr);
+
+  nxe::EngineConfig config;
+  config.mode = mode;
+  config.cache_sensitivity = spec->cache_sensitivity;
+  nxe::Engine engine(config);
+
+  auto variants = workload::BuildIdenticalVariants(*spec, n_variants, 99);
+  const double baseline = engine.RunBaseline(variants[0]);
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // No false positives on identical binaries (§5.1).
+  EXPECT_TRUE(report->completed);
+  EXPECT_FALSE(report->divergence.has_value());
+  EXPECT_FALSE(report->detection.has_value());
+
+  // Timing sanity: synchronized execution is never faster than solo.
+  EXPECT_GE(report->total_time, baseline);
+  ASSERT_EQ(report->variant_finish_time.size(), n_variants);
+  for (double t : report->variant_finish_time) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, report->total_time + 1e-9);
+  }
+
+  // Telemetry: every sync-relevant syscall of one variant was synchronized.
+  size_t expected_syscalls = 0;
+  for (const auto& thread : variants[0].threads) {
+    for (const auto& action : thread.actions) {
+      if (action.kind == nxe::ActionKind::kSyscall &&
+          sc::IsSyncRelevant(action.syscall.no)) {
+        ++expected_syscalls;
+      }
+    }
+  }
+  EXPECT_EQ(report->synced_syscalls, expected_syscalls);
+
+  // Overhead stays within a loose global sanity bound (< 100% for any
+  // configuration in this sweep).
+  EXPECT_LT(report->OverheadVs(baseline), 1.0);
+
+  // Selective mode: the attack window is bounded by the ring.
+  if (mode == nxe::LockstepMode::kSelective && n_variants > 1) {
+    EXPECT_LE(report->max_syscall_gap, config.ring_capacity);
+  }
+}
+
+std::vector<std::string> SweepBenchmarks() {
+  return {"perlbench", "bzip2", "lbm", "xalancbmk", "barnes", "ocean(cp)", "dedup",
+          "streamcluster"};
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineSweepTest,
+    ::testing::Combine(::testing::ValuesIn(SweepBenchmarks()),
+                       ::testing::Values(nxe::LockstepMode::kStrict,
+                                         nxe::LockstepMode::kSelective),
+                       ::testing::Values<size_t>(2, 3, 4)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_" + nxe::LockstepModeName(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param)) + "v";
+    });
+
+}  // namespace
+}  // namespace bunshin

@@ -1,0 +1,277 @@
+// Tests for the N-version execution engine: synchronization semantics,
+// divergence detection, sanitizer-syscall filtering, lockstep modes, weak
+// determinism, and the cost model.
+#include <gtest/gtest.h>
+
+#include "src/nxe/engine.h"
+#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace {
+
+using nxe::ActionKind;
+using nxe::Engine;
+using nxe::EngineConfig;
+using nxe::LockstepMode;
+using nxe::ThreadAction;
+using nxe::VariantTrace;
+
+sc::SyscallRecord MakeWrite(const std::string& payload) {
+  sc::SyscallRecord rec;
+  rec.no = sc::Sysno::kWrite;
+  rec.args = {1, static_cast<int64_t>(payload.size()), 0, 0, 0, 0};
+  rec.payload_digest = sc::DigestString(payload);
+  return rec;
+}
+
+sc::SyscallRecord MakeRead() {
+  sc::SyscallRecord rec;
+  rec.no = sc::Sysno::kRead;
+  rec.args = {0, 128, 0, 0, 0, 0};
+  return rec;
+}
+
+VariantTrace SimpleVariant(const std::string& name, double scale,
+                           const std::vector<ThreadAction>& actions) {
+  VariantTrace trace;
+  trace.name = name;
+  trace.compute_scale = scale;
+  trace.threads.resize(1);
+  trace.threads[0].actions = actions;
+  trace.threads[0].actions.push_back(ThreadAction::Exit());
+  return trace;
+}
+
+TEST(EngineTest, IdenticalVariantsComplete) {
+  const std::vector<ThreadAction> actions = {
+      ThreadAction::Compute(100), ThreadAction::Syscall(MakeRead()),
+      ThreadAction::Compute(50), ThreadAction::Syscall(MakeWrite("hello"))};
+  std::vector<VariantTrace> variants = {SimpleVariant("a", 1.0, actions),
+                                        SimpleVariant("b", 1.0, actions),
+                                        SimpleVariant("c", 1.0, actions)};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->completed);
+  EXPECT_FALSE(report->divergence.has_value());
+  EXPECT_EQ(report->synced_syscalls, 2u);
+}
+
+TEST(EngineTest, ArgumentDivergenceDetected) {
+  const std::vector<ThreadAction> good = {ThreadAction::Compute(10),
+                                          ThreadAction::Syscall(MakeWrite("normal"))};
+  const std::vector<ThreadAction> evil = {ThreadAction::Compute(10),
+                                          ThreadAction::Syscall(MakeWrite("leaked-secret"))};
+  std::vector<VariantTrace> variants = {SimpleVariant("leader", 1.0, good),
+                                        SimpleVariant("follower", 1.0, evil)};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->divergence.has_value());
+  EXPECT_EQ(report->divergence->variant, 1u);
+  EXPECT_TRUE(report->aborted_all);
+}
+
+TEST(EngineTest, SequenceDivergenceDetected) {
+  const std::vector<ThreadAction> two = {ThreadAction::Syscall(MakeRead()),
+                                         ThreadAction::Syscall(MakeWrite("x"))};
+  const std::vector<ThreadAction> one = {ThreadAction::Syscall(MakeRead())};
+  std::vector<VariantTrace> variants = {SimpleVariant("leader", 1.0, two),
+                                        SimpleVariant("follower", 1.0, one)};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->divergence.has_value());
+}
+
+TEST(EngineTest, DetectionAbortsAllVariants) {
+  const std::vector<ThreadAction> protected_v = {ThreadAction::Compute(10),
+                                                 ThreadAction::Detect("__asan_report_store")};
+  const std::vector<ThreadAction> unprotected_v = {ThreadAction::Compute(10),
+                                                   ThreadAction::Syscall(MakeWrite("pwned"))};
+  std::vector<VariantTrace> variants = {SimpleVariant("a", 1.0, protected_v),
+                                        SimpleVariant("b", 1.0, unprotected_v)};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->detection.has_value());
+  EXPECT_EQ(report->detection->detector, "__asan_report_store");
+  EXPECT_TRUE(report->aborted_all);
+  EXPECT_FALSE(report->completed);
+}
+
+TEST(EngineTest, SanitizerMemoryManagementSyscallsIgnored) {
+  // Variant b issues extra mmap/madvise (sanitizer metadata management);
+  // no false alarm may result (§3.3).
+  sc::SyscallRecord mmap_rec;
+  mmap_rec.no = sc::Sysno::kMmap;
+  mmap_rec.args = {0, 4096, 0, 0, 0, 0};
+  const std::vector<ThreadAction> plain = {ThreadAction::Compute(10),
+                                           ThreadAction::Syscall(MakeWrite("ok"))};
+  const std::vector<ThreadAction> with_mm = {
+      ThreadAction::Syscall(mmap_rec), ThreadAction::Compute(10),
+      ThreadAction::Syscall(mmap_rec), ThreadAction::Syscall(MakeWrite("ok"))};
+  std::vector<VariantTrace> variants = {SimpleVariant("a", 1.0, plain),
+                                        SimpleVariant("b", 1.2, with_mm)};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->completed);
+  EXPECT_EQ(report->ignored_syscalls, 2u);
+}
+
+TEST(EngineTest, PreMainAndPostExitSyscallsIgnored) {
+  const std::vector<ThreadAction> actions = {ThreadAction::Compute(10),
+                                             ThreadAction::Syscall(MakeWrite("ok"))};
+  std::vector<VariantTrace> variants = {SimpleVariant("asan", 1.5, actions),
+                                        SimpleVariant("plain", 1.0, actions)};
+  // The ASan variant reads /proc/self before main and writes a report at exit.
+  variants[0].pre_main = {sc::ParseIntroducedSyscall("open:/proc/self/maps"),
+                          sc::ParseIntroducedSyscall("read:/proc/self/maps")};
+  variants[0].post_exit = {sc::ParseIntroducedSyscall("write:report")};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_EQ(report->ignored_syscalls, 3u);
+}
+
+TEST(EngineTest, SelectiveFasterThanStrict) {
+  const auto& bench = workload::Spec2006()[0];  // perlbench: syscall-heavy
+  auto variants = workload::BuildIdenticalVariants(bench, 3, 42);
+
+  EngineConfig strict;
+  strict.mode = LockstepMode::kStrict;
+  strict.cache_sensitivity = bench.cache_sensitivity;
+  EngineConfig selective = strict;
+  selective.mode = LockstepMode::kSelective;
+
+  Engine strict_engine(strict);
+  Engine selective_engine(selective);
+  auto strict_report = strict_engine.Run(variants);
+  auto selective_report = selective_engine.Run(variants);
+  ASSERT_TRUE(strict_report.ok());
+  ASSERT_TRUE(selective_report.ok());
+  EXPECT_TRUE(strict_report->completed);
+  EXPECT_TRUE(selective_report->completed);
+  EXPECT_LT(selective_report->total_time, strict_report->total_time);
+}
+
+TEST(EngineTest, OverheadGrowsWithVariantCount) {
+  const auto& bench = workload::Spec2006()[1];  // bzip2
+  Engine engine(EngineConfig{});
+  const double baseline = engine.RunBaseline(workload::BuildIdenticalVariants(bench, 1, 7)[0]);
+  double prev_overhead = -1.0;
+  for (size_t n : {2, 4, 8}) {
+    EngineConfig config;
+    config.cost.cores = 12;
+    config.cache_sensitivity = bench.cache_sensitivity;
+    Engine scaled(config);
+    auto report = scaled.Run(workload::BuildIdenticalVariants(bench, n, 7));
+    ASSERT_TRUE(report.ok());
+    const double overhead = report->OverheadVs(baseline);
+    EXPECT_GT(overhead, prev_overhead) << "n=" << n;
+    prev_overhead = overhead;
+  }
+}
+
+TEST(EngineTest, SelectiveModeReportsSyscallGap) {
+  const auto& bench = workload::Spec2006()[0];
+  auto variants = workload::BuildIdenticalVariants(bench, 3, 11);
+  EngineConfig config;
+  config.mode = LockstepMode::kSelective;
+  Engine engine(config);
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->completed);
+  EXPECT_GT(report->max_syscall_gap, 0u);
+  EXPECT_GE(report->avg_syscall_gap, 0.0);
+  // Ring capacity bounds the gap.
+  EXPECT_LE(report->max_syscall_gap, config.ring_capacity);
+}
+
+TEST(EngineTest, MultithreadedIdenticalVariantsComplete) {
+  const auto& bench = workload::Splash2x()[0];  // barnes, 4 threads + locks
+  auto variants = workload::BuildIdenticalVariants(bench, 3, 21);
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->completed);
+  EXPECT_GT(report->lock_acquisitions, 0u);
+}
+
+TEST(EngineTest, MultithreadedOverheadIncludesLockOrdering) {
+  const auto& mt = workload::Splash2x()[9];  // radiosity: lock heavy
+  const auto& st = workload::Spec2006()[1];
+  Engine engine(EngineConfig{});
+  auto mt_variants = workload::BuildIdenticalVariants(mt, 3, 5);
+  auto st_variants = workload::BuildIdenticalVariants(st, 3, 5);
+  const double mt_base = engine.RunBaseline(mt_variants[0]);
+  const double st_base = engine.RunBaseline(st_variants[0]);
+  auto mt_report = engine.Run(mt_variants);
+  auto st_report = engine.Run(st_variants);
+  ASSERT_TRUE(mt_report.ok());
+  ASSERT_TRUE(st_report.ok());
+  ASSERT_TRUE(mt_report->completed);
+  EXPECT_GT(mt_report->OverheadVs(mt_base), st_report->OverheadVs(st_base));
+}
+
+TEST(EngineTest, VariantFinishTimesTrackComputeScale) {
+  const std::vector<ThreadAction> actions = {ThreadAction::Compute(1000),
+                                             ThreadAction::Syscall(MakeWrite("done"))};
+  std::vector<VariantTrace> variants = {SimpleVariant("slow", 2.0, actions),
+                                        SimpleVariant("fast", 1.0, actions)};
+  Engine engine(EngineConfig{});
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->completed);
+  // Strict lockstep: everyone finishes with the slowest (leader waits too).
+  EXPECT_NEAR(report->variant_finish_time[0], report->variant_finish_time[1],
+              report->total_time * 0.05);
+}
+
+TEST(EngineTest, RejectsEmptyAndMismatchedInput) {
+  Engine engine(EngineConfig{});
+  EXPECT_FALSE(engine.Run({}).ok());
+
+  VariantTrace one_thread = SimpleVariant("a", 1.0, {});
+  VariantTrace two_threads = SimpleVariant("b", 1.0, {});
+  two_threads.threads.resize(2);
+  EXPECT_FALSE(engine.Run({one_thread, two_threads}).ok());
+}
+
+TEST(EngineTest, SingleCoreSerializesCompute) {
+  const auto& bench = workload::Spec2006()[1];
+  auto variants = workload::BuildIdenticalVariants(bench, 2, 3);
+  EngineConfig config;
+  config.cost.cores = 1;
+  Engine engine(config);
+  const double baseline = engine.RunBaseline(variants[0]);
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok());
+  // Roughly doubles: two variants time-share one core (§5.7: 103.1%).
+  EXPECT_GT(report->OverheadVs(baseline), 0.8);
+}
+
+TEST(CostModelTest, LlcMultiplierMonotone) {
+  nxe::CostModel cm;
+  double prev = 0.0;
+  for (size_t n = 1; n <= 8; ++n) {
+    const double mult = cm.LlcMultiplier(n, 1.0);
+    EXPECT_GE(mult, 1.0);
+    EXPECT_GE(mult, prev);
+    prev = mult;
+  }
+}
+
+TEST(CostModelTest, LoadInflatesWakeups) {
+  nxe::CostModel idle;
+  idle.background_load = 0.02;
+  nxe::CostModel busy;
+  busy.background_load = 0.99;
+  EXPECT_GT(busy.WakeupCost(), idle.WakeupCost());
+}
+
+}  // namespace
+}  // namespace bunshin

@@ -1,0 +1,143 @@
+// Tests for execution groups (fork handling) and shared-memory sync.
+#include <gtest/gtest.h>
+
+#include "src/nxe/execgroup.h"
+#include "src/nxe/shared_mem.h"
+
+namespace bunshin {
+namespace {
+
+TEST(ExecGroupTest, RootGroupComplete) {
+  nxe::ExecutionGroupManager mgr(100, {200, 300});
+  EXPECT_TRUE(mgr.IsComplete(0));
+  EXPECT_EQ(mgr.group_count(), 1u);
+  EXPECT_EQ(*mgr.GroupOf(100), 0u);
+  EXPECT_EQ(*mgr.GroupOf(300), 0u);
+  EXPECT_FALSE(mgr.GroupOf(999).ok());
+}
+
+TEST(ExecGroupTest, LeaderForkCreatesIncompleteGroup) {
+  nxe::ExecutionGroupManager mgr(100, {200, 300});
+  auto egid = mgr.LeaderForked(0, 101);
+  ASSERT_TRUE(egid.ok());
+  EXPECT_FALSE(mgr.IsComplete(*egid));  // followers haven't forked yet
+  const auto* group = mgr.Find(*egid);
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->leader, 101u);
+  EXPECT_EQ(group->parent, 0u);
+}
+
+TEST(ExecGroupTest, FollowerForksCompleteTheChildGroup) {
+  nxe::ExecutionGroupManager mgr(100, {200, 300});
+  auto egid = mgr.LeaderForked(0, 101);
+  ASSERT_TRUE(egid.ok());
+  EXPECT_TRUE(mgr.FollowerForked(0, 200, 201).ok());
+  EXPECT_FALSE(mgr.IsComplete(*egid));
+  EXPECT_TRUE(mgr.FollowerForked(0, 300, 301).ok());
+  EXPECT_TRUE(mgr.IsComplete(*egid));
+  // Children are members of the new group, not the parent.
+  EXPECT_EQ(*mgr.GroupOf(201), *egid);
+  EXPECT_EQ(*mgr.GroupOf(301), *egid);
+}
+
+TEST(ExecGroupTest, FollowerForkBeforeLeaderIsProtocolViolation) {
+  nxe::ExecutionGroupManager mgr(100, {200});
+  EXPECT_FALSE(mgr.FollowerForked(0, 200, 201).ok());
+}
+
+TEST(ExecGroupTest, MultipleForksMatchInOrder) {
+  // Two leader forks, then follower forks fill the groups oldest-first —
+  // forks are synchronized syscalls, so order correspondence is guaranteed.
+  nxe::ExecutionGroupManager mgr(100, {200});
+  auto g1 = mgr.LeaderForked(0, 101);
+  auto g2 = mgr.LeaderForked(0, 102);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_TRUE(mgr.FollowerForked(0, 200, 201).ok());
+  ASSERT_TRUE(mgr.FollowerForked(0, 200, 202).ok());
+  EXPECT_EQ(*mgr.GroupOf(201), *g1);
+  EXPECT_EQ(*mgr.GroupOf(202), *g2);
+  EXPECT_TRUE(mgr.IsComplete(*g1));
+  EXPECT_TRUE(mgr.IsComplete(*g2));
+}
+
+TEST(ExecGroupTest, NestedForksFromChildGroups) {
+  // Daemon pattern: worker (child group) forks again.
+  nxe::ExecutionGroupManager mgr(100, {200});
+  auto worker = mgr.LeaderForked(0, 101);
+  ASSERT_TRUE(mgr.FollowerForked(0, 200, 201).ok());
+  auto grandchild = mgr.LeaderForked(*worker, 111);
+  ASSERT_TRUE(grandchild.ok());
+  ASSERT_TRUE(mgr.FollowerForked(*worker, 201, 211).ok());
+  EXPECT_TRUE(mgr.IsComplete(*grandchild));
+  EXPECT_EQ(mgr.Find(*grandchild)->parent, *worker);
+}
+
+TEST(ExecGroupTest, GroupRetiredWhenAllExit) {
+  nxe::ExecutionGroupManager mgr(100, {200});
+  auto egid = mgr.LeaderForked(0, 101);
+  ASSERT_TRUE(mgr.FollowerForked(0, 200, 201).ok());
+  EXPECT_EQ(mgr.group_count(), 2u);
+  EXPECT_EQ(*mgr.ProcessExited(101), *egid);
+  EXPECT_EQ(*mgr.ProcessExited(201), *egid);
+  EXPECT_EQ(mgr.group_count(), 1u);
+  EXPECT_EQ(mgr.Find(*egid), nullptr);
+}
+
+TEST(SharedMemTest, FirstTouchFaultsAndSyncsFromLeader) {
+  nxe::SharedMapping mapping(256, /*n_followers=*/2);
+  ASSERT_TRUE(mapping.Write(0, 10, 42).ok());  // leader writes
+  EXPECT_EQ(mapping.fault_count(), 1u);        // leader's own first touch
+
+  auto read = mapping.Read(1, 10);  // follower reads: faults, copies page
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 42);
+  EXPECT_EQ(mapping.fault_count(), 2u);
+}
+
+TEST(SharedMemTest, UnpoisonedAccessDoesNotFault) {
+  nxe::SharedMapping mapping(256, 1);
+  (void)mapping.Read(1, 0);
+  const uint64_t faults = mapping.fault_count();
+  (void)mapping.Read(1, 1);  // same page, already faulted in
+  EXPECT_EQ(mapping.fault_count(), faults);
+  (void)mapping.Read(1, nxe::kPageWords);  // next page: faults again
+  EXPECT_EQ(mapping.fault_count(), faults + 1);
+}
+
+TEST(SharedMemTest, MatchingFollowerWriteAccepted) {
+  nxe::SharedMapping mapping(128, 1);
+  ASSERT_TRUE(mapping.Write(0, 5, 7).ok());
+  EXPECT_TRUE(mapping.Write(1, 5, 7).ok());  // same value: race-free agreement
+  EXPECT_EQ(mapping.divergent_writes(), 0u);
+}
+
+TEST(SharedMemTest, DivergentFollowerWriteDetected) {
+  nxe::SharedMapping mapping(128, 1);
+  ASSERT_TRUE(mapping.Write(0, 5, 7).ok());
+  EXPECT_FALSE(mapping.Write(1, 5, 999).ok());  // attacker-corrupted value
+  EXPECT_EQ(mapping.divergent_writes(), 1u);
+}
+
+TEST(SharedMemTest, OutOfRangeRejected) {
+  nxe::SharedMapping mapping(64, 1);
+  EXPECT_FALSE(mapping.Read(0, 64).ok());
+  EXPECT_FALSE(mapping.Write(0, 1000, 1).ok());
+  EXPECT_FALSE(mapping.Read(5, 0).ok());  // no such variant
+}
+
+TEST(SharedMemTest, FollowerReFaultsAfterWriteEpisode) {
+  nxe::SharedMapping mapping(128, 1);
+  ASSERT_TRUE(mapping.Write(0, 3, 1).ok());
+  ASSERT_TRUE(mapping.Write(1, 3, 1).ok());
+  EXPECT_TRUE(mapping.IsPoisoned(1, 0));  // re-poisoned for the next episode
+
+  // Leader updates; follower's next read observes it via a fresh fault.
+  ASSERT_TRUE(mapping.Write(0, 3, 2).ok());
+  auto read = mapping.Read(1, 3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 2);
+}
+
+}  // namespace
+}  // namespace bunshin

@@ -1,0 +1,153 @@
+// Tests for balanced N-partition: invariants for all algorithms plus quality
+// properties (parameterized property sweeps).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/partition/partition.h"
+#include "src/support/rng.h"
+
+namespace bunshin {
+namespace {
+
+using partition::Algorithm;
+using partition::Partition;
+using partition::PartitionOptions;
+using partition::PartitionResult;
+using partition::ValidatePartition;
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, size_t, size_t, uint64_t>> {};
+
+TEST_P(PartitionPropertyTest, DisjointCoverAndBalanceBound) {
+  const auto [algorithm, n_items, n_bins, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<double> weights;
+  double max_weight = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n_items; ++i) {
+    const double w = rng.NextExponential(10.0);
+    weights.push_back(w);
+    max_weight = std::max(max_weight, w);
+    total += w;
+  }
+
+  PartitionOptions options;
+  options.algorithm = algorithm;
+  auto result = Partition(weights, n_bins, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Invariant: disjoint cover.
+  EXPECT_TRUE(ValidatePartition(weights, *result, n_bins).ok());
+
+  // Quality: no bin exceeds ideal + max item (the LPT bound holds for every
+  // algorithm here because all are at least as good as greedy on these sizes).
+  const double ideal = total / static_cast<double>(n_bins);
+  EXPECT_LE(result->max_sum, ideal + max_weight + 1e-9)
+      << partition::AlgorithmName(algorithm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionPropertyTest,
+    ::testing::Combine(::testing::Values(Algorithm::kGreedyLpt, Algorithm::kKarmarkarKarp,
+                                         Algorithm::kCompleteGreedy,
+                                         Algorithm::kFptasSubsetSum),
+                       ::testing::Values<size_t>(1, 2, 19, 64, 200),
+                       ::testing::Values<size_t>(1, 2, 3, 8),
+                       ::testing::Values<uint64_t>(7, 1234)),
+    [](const auto& info) {
+      std::string algo = partition::AlgorithmName(std::get<0>(info.param));
+      for (char& c : algo) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return algo + "_items" +
+             std::to_string(std::get<1>(info.param)) + "_bins" +
+             std::to_string(std::get<2>(info.param)) + "_seed" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(PartitionTest, EmptyInputYieldsEmptyBins) {
+  auto result = Partition({}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bins.size(), 3u);
+  for (const auto& bin : result->bins) {
+    EXPECT_TRUE(bin.empty());
+  }
+}
+
+TEST(PartitionTest, RejectsZeroBins) { EXPECT_FALSE(Partition({1.0}, 0).ok()); }
+
+TEST(PartitionTest, RejectsNegativeWeights) { EXPECT_FALSE(Partition({1.0, -2.0}, 2).ok()); }
+
+TEST(PartitionTest, PerfectSplitFound) {
+  // 2 bins, weights that admit a perfect 50/50 split.
+  const std::vector<double> weights = {8, 7, 6, 5, 4, 3, 2, 1};  // total 36
+  for (auto algorithm : {Algorithm::kKarmarkarKarp, Algorithm::kCompleteGreedy,
+                         Algorithm::kFptasSubsetSum}) {
+    PartitionOptions options;
+    options.algorithm = algorithm;
+    auto result = Partition(weights, 2, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->max_sum, 18.0, 1e-6) << partition::AlgorithmName(algorithm);
+  }
+}
+
+TEST(PartitionTest, CompleteGreedyOptimalOnSmallHardInstance) {
+  // Known partition stress case: LPT is suboptimal here; exhaustive search
+  // within budget finds the optimum {4,5,6} vs {7,8}.
+  const std::vector<double> weights = {7, 8, 4, 5, 6};
+  PartitionOptions options;
+  options.algorithm = Algorithm::kCompleteGreedy;
+  auto result = Partition(weights, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->max_sum, 15.0, 1e-9);
+}
+
+TEST(PartitionTest, SingleDominantItemIsTheBound) {
+  // The hmmer/lbm situation: one item holds ~97% of the weight; no algorithm
+  // can balance, and max_sum equals that item's weight.
+  std::vector<double> weights = {97.0, 1.0, 1.0, 1.0};
+  for (auto algorithm : {Algorithm::kGreedyLpt, Algorithm::kKarmarkarKarp,
+                         Algorithm::kCompleteGreedy, Algorithm::kFptasSubsetSum}) {
+    PartitionOptions options;
+    options.algorithm = algorithm;
+    auto result = Partition(weights, 3, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->max_sum, 97.0, 1e-9);
+  }
+}
+
+TEST(PartitionTest, BalanceRatioNearOneOnManySmallItems) {
+  Rng rng(99);
+  std::vector<double> weights;
+  for (int i = 0; i < 500; ++i) {
+    weights.push_back(1.0 + rng.NextDouble());
+  }
+  for (auto algorithm : {Algorithm::kKarmarkarKarp, Algorithm::kFptasSubsetSum}) {
+    PartitionOptions options;
+    options.algorithm = algorithm;
+    auto result = Partition(weights, 3, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->balance_ratio, 1.02) << partition::AlgorithmName(algorithm);
+  }
+}
+
+TEST(PartitionTest, MoreBinsNeverDecreaseMaxBinBelowIdeal) {
+  Rng rng(5);
+  std::vector<double> weights;
+  double total = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    weights.push_back(rng.NextExponential(4.0));
+    total += weights.back();
+  }
+  for (size_t n = 1; n <= 6; ++n) {
+    auto result = Partition(weights, n);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->max_sum + 1e-9, total / static_cast<double>(n));
+  }
+}
+
+}  // namespace
+}  // namespace bunshin

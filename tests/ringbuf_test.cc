@@ -1,0 +1,133 @@
+// Real-thread stress tests for the lock-free ring buffers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/ringbuf/ringbuf.h"
+
+namespace bunshin {
+namespace {
+
+TEST(SpscRingTest, FifoSingleThread) {
+  ringbuf::SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out;
+  EXPECT_FALSE(ring.TryPop(&out));  // empty
+}
+
+TEST(SpscRingTest, CapacityMustBePowerOfTwo) {
+  EXPECT_TRUE(ringbuf::IsPowerOfTwo(64));
+  EXPECT_FALSE(ringbuf::IsPowerOfTwo(48));
+  EXPECT_FALSE(ringbuf::IsPowerOfTwo(0));
+}
+
+TEST(SpscRingTest, ConcurrentFifoNoLossNoTearing) {
+  constexpr int kCount = 100000;
+  ringbuf::SpscRing<uint64_t> ring(128);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      // Encode a checksum into the value to catch tearing.
+      const uint64_t v = (static_cast<uint64_t>(i) << 20) | (static_cast<uint64_t>(i) % 997);
+      ring.Push(v);
+    }
+  });
+  uint64_t received = 0;
+  bool ok = true;
+  std::thread consumer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      const uint64_t v = ring.Pop();
+      if ((v >> 20) != static_cast<uint64_t>(i) || (v & 0xFFFFF) != (v >> 20) % 997) {
+        ok = false;
+        break;
+      }
+      ++received;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(received, static_cast<uint64_t>(kCount));
+}
+
+TEST(BroadcastRingTest, EveryFollowerSeesEveryEntryInOrder) {
+  ringbuf::BroadcastRing<int> ring(16, 3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ring.TryPublish(i));
+  }
+  for (size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      int out = -1;
+      EXPECT_TRUE(ring.TryConsume(c, &out));
+      EXPECT_EQ(out, i);
+    }
+    int out;
+    EXPECT_FALSE(ring.TryConsume(c, &out));
+  }
+}
+
+TEST(BroadcastRingTest, ProducerBlockedBySlowestConsumer) {
+  ringbuf::BroadcastRing<int> ring(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPublish(i));
+  }
+  EXPECT_FALSE(ring.TryPublish(4));  // full: nobody consumed yet
+  int out;
+  EXPECT_TRUE(ring.TryConsume(0, &out));  // fast consumer advances
+  EXPECT_FALSE(ring.TryPublish(4));       // still blocked by consumer 1
+  EXPECT_TRUE(ring.TryConsume(1, &out));  // slow consumer advances
+  EXPECT_TRUE(ring.TryPublish(4));        // now there is room
+}
+
+TEST(BroadcastRingTest, BacklogTracksSyscallGap) {
+  ringbuf::BroadcastRing<int> ring(16, 2);
+  for (int i = 0; i < 6; ++i) {
+    ring.Publish(i);
+  }
+  int out;
+  ring.TryConsume(0, &out);
+  ring.TryConsume(0, &out);
+  EXPECT_EQ(ring.Backlog(0), 4u);
+  EXPECT_EQ(ring.Backlog(1), 6u);
+  EXPECT_EQ(ring.MaxBacklog(), 6u);  // §5.3's attack-window metric
+}
+
+TEST(BroadcastRingTest, ConcurrentLeaderTwoFollowers) {
+  constexpr int kCount = 50000;
+  ringbuf::BroadcastRing<int> ring(64, 2);
+  std::thread leader([&] {
+    for (int i = 0; i < kCount; ++i) {
+      ring.Publish(i);
+    }
+  });
+  std::vector<std::thread> followers;
+  std::vector<bool> ok(2, true);
+  for (size_t c = 0; c < 2; ++c) {
+    followers.emplace_back([&, c] {
+      for (int i = 0; i < kCount; ++i) {
+        if (ring.Consume(c) != i) {
+          ok[c] = false;
+          break;
+        }
+      }
+    });
+  }
+  leader.join();
+  for (auto& t : followers) {
+    t.join();
+  }
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
+  EXPECT_EQ(ring.published(), static_cast<uint64_t>(kCount));
+}
+
+}  // namespace
+}  // namespace bunshin

@@ -1,0 +1,194 @@
+// Tests for the sanitizer instrumentation passes: semantics preservation on
+// benign inputs, detection on malicious inputs, and the conflict matrix.
+#include <gtest/gtest.h>
+
+#include "src/ir/interp.h"
+#include "src/ir/verifier.h"
+#include "src/sanitizer/asan_pass.h"
+#include "src/sanitizer/msan_pass.h"
+#include "src/sanitizer/sanitizer.h"
+#include "src/sanitizer/ubsan_pass.h"
+#include "tests/testutil.h"
+
+namespace bunshin {
+namespace {
+
+TEST(AsanPassTest, InstrumentedModuleVerifies) {
+  auto module = testutil::BuildBufferProgram();
+  san::AsanPass pass;
+  auto stats = pass.Run(module.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->checks_inserted, 0u);
+  EXPECT_GT(stats->metadata_instructions, 0u);
+  EXPECT_TRUE(ir::VerifyModule(*module).ok()) << ir::VerifyModule(*module).message();
+}
+
+TEST(AsanPassTest, BenignBehaviorPreserved) {
+  auto baseline = testutil::BuildBufferProgram();
+  auto instrumented = baseline->Clone();
+  san::AsanPass pass;
+  ASSERT_TRUE(pass.Run(instrumented.get()).ok());
+
+  ir::Interpreter base_interp(baseline.get());
+  ir::Interpreter inst_interp(instrumented.get());
+  for (int idx = 0; idx < 4; ++idx) {
+    ir::ExecResult base = base_interp.Run("main", {idx});
+    ir::ExecResult inst = inst_interp.Run("main", {idx});
+    ASSERT_EQ(base.outcome, ir::Outcome::kReturned);
+    ASSERT_EQ(inst.outcome, ir::Outcome::kReturned) << inst.detector << inst.trap_reason;
+    EXPECT_EQ(base.return_value, inst.return_value);
+    EXPECT_EQ(base.events, inst.events);
+  }
+}
+
+TEST(AsanPassTest, DetectsContiguousOverflowIntoRedzone) {
+  auto module = testutil::BuildBufferProgram();
+  san::AsanPass pass;
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  // idx == 4 reads one past the buffer: the right redzone.
+  ir::ExecResult result = interp.Run("main", {4});
+  ASSERT_EQ(result.outcome, ir::Outcome::kDetected);
+  EXPECT_EQ(result.detector, "__asan_report_load");
+  // idx == -1 hits the left redzone.
+  result = interp.Run("main", {-1});
+  ASSERT_EQ(result.outcome, ir::Outcome::kDetected);
+}
+
+TEST(AsanPassTest, InstrumentationCostsTime) {
+  auto baseline = testutil::BuildMultiFunctionProgram();
+  auto instrumented = baseline->Clone();
+  san::AsanPass pass;
+  ASSERT_TRUE(pass.Run(instrumented.get()).ok());
+  ir::Interpreter base_interp(baseline.get());
+  ir::Interpreter inst_interp(instrumented.get());
+  const auto base = base_interp.Run("main", {40});
+  const auto inst = inst_interp.Run("main", {40});
+  ASSERT_EQ(inst.outcome, ir::Outcome::kReturned);
+  EXPECT_GT(inst.cost, base.cost);
+}
+
+TEST(MsanPassTest, BenignInitializedReadOk) {
+  auto module = testutil::BuildUninitProgram();
+  san::MsanPass pass;
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ASSERT_TRUE(ir::VerifyModule(*module).ok());
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {1});  // flag set: store happens
+  ASSERT_EQ(result.outcome, ir::Outcome::kReturned) << result.detector;
+  EXPECT_EQ(result.return_value, 7);
+}
+
+TEST(MsanPassTest, DetectsUninitializedRead) {
+  auto module = testutil::BuildUninitProgram();
+  san::MsanPass pass;
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {0});  // store skipped
+  ASSERT_EQ(result.outcome, ir::Outcome::kDetected);
+  EXPECT_EQ(result.detector, "__msan_report_uninit");
+}
+
+TEST(MsanPassTest, UninstrumentedReadGoesUnnoticed) {
+  auto module = testutil::BuildUninitProgram();
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {0});
+  EXPECT_EQ(result.outcome, ir::Outcome::kReturned);  // silent bug
+}
+
+TEST(UbsanPassTest, BenignArithmeticPreserved) {
+  auto baseline = testutil::BuildArithProgram();
+  auto instrumented = baseline->Clone();
+  san::UbsanPass pass;
+  ASSERT_TRUE(pass.Run(instrumented.get()).ok());
+  ASSERT_TRUE(ir::VerifyModule(*instrumented).ok());
+  ir::Interpreter base_interp(baseline.get());
+  ir::Interpreter inst_interp(instrumented.get());
+  const auto base = base_interp.Run("main", {20, 3});
+  const auto inst = inst_interp.Run("main", {20, 3});
+  ASSERT_EQ(inst.outcome, ir::Outcome::kReturned) << inst.detector;
+  EXPECT_EQ(base.return_value, inst.return_value);
+}
+
+TEST(UbsanPassTest, DetectsDivByZero) {
+  auto module = testutil::BuildArithProgram();
+  san::UbsanPass pass;
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {10, 0});
+  ASSERT_EQ(result.outcome, ir::Outcome::kDetected);
+  EXPECT_EQ(result.detector, "__ubsan_report_integer_divide_by_zero");
+}
+
+TEST(UbsanPassTest, DetectsShiftOutOfBounds) {
+  auto module = testutil::BuildArithProgram();
+  san::UbsanPass pass({.enabled = {"shift"}});
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {10, 70});
+  ASSERT_EQ(result.outcome, ir::Outcome::kDetected);
+  EXPECT_EQ(result.detector, "__ubsan_report_shift_out_of_bounds");
+}
+
+TEST(UbsanPassTest, DetectsSignedOverflow) {
+  auto module = testutil::BuildArithProgram();
+  san::UbsanPass pass({.enabled = {"signed-integer-overflow"}});
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  const int64_t big = INT64_MAX - 5;
+  ir::ExecResult result = interp.Run("main", {big, 100});
+  ASSERT_EQ(result.outcome, ir::Outcome::kDetected);
+  EXPECT_EQ(result.detector, "__ubsan_report_signed_integer_overflow");
+}
+
+TEST(UbsanPassTest, SubSanitizerSelectionIsHonored) {
+  // Only divide-by-zero enabled: a bad shift passes through unchecked.
+  auto module = testutil::BuildArithProgram();
+  san::UbsanPass pass({.enabled = {"integer-divide-by-zero"}});
+  ASSERT_TRUE(pass.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {10, 70});
+  EXPECT_EQ(result.outcome, ir::Outcome::kReturned);  // shift UB unnoticed
+}
+
+TEST(ConflictMatrixTest, AsanMsanConflict) {
+  EXPECT_TRUE(san::Conflicts(san::SanitizerId::kASan, san::SanitizerId::kMSan));
+  EXPECT_FALSE(san::Conflicts(san::SanitizerId::kASan, san::SanitizerId::kUBSan));
+  EXPECT_FALSE(san::Conflicts(san::SanitizerId::kMSan, san::SanitizerId::kUBSan));
+  EXPECT_FALSE(san::Conflicts(san::SanitizerId::kSoftBound, san::SanitizerId::kCETS));
+}
+
+TEST(ConflictMatrixTest, CollectivelyEnforceable) {
+  EXPECT_FALSE(san::CollectivelyEnforceable(
+      {san::SanitizerId::kASan, san::SanitizerId::kMSan, san::SanitizerId::kUBSan}));
+  EXPECT_TRUE(
+      san::CollectivelyEnforceable({san::SanitizerId::kASan, san::SanitizerId::kUBSan}));
+  EXPECT_TRUE(
+      san::CollectivelyEnforceable({san::SanitizerId::kSoftBound, san::SanitizerId::kCETS,
+                                    san::SanitizerId::kStackCookie}));
+}
+
+// The paper's motivating incompatibility, reproduced concretely: ASan and
+// MSan assign opposite meanings to the same shadow, so enforcing both on one
+// binary false-positives on a perfectly benign program.
+TEST(ConflictMatrixTest, AsanPlusMsanOnOneBinaryMisbehaves) {
+  auto module = testutil::BuildBufferProgram();
+  san::MsanPass msan;
+  ASSERT_TRUE(msan.Run(module.get()).ok());
+  san::AsanPass asan;
+  ASSERT_TRUE(asan.Run(module.get()).ok());
+  ir::Interpreter interp(module.get());
+  ir::ExecResult result = interp.Run("main", {2});  // benign access
+  EXPECT_NE(result.outcome, ir::Outcome::kReturned);
+}
+
+TEST(ConflictMatrixTest, UBSanHasNineteenSubSanitizers) {
+  EXPECT_EQ(san::UBSanSubSanitizers().size(), 19u);
+  for (const auto& sub : san::UBSanSubSanitizers()) {
+    EXPECT_LE(sub.mean_overhead, 0.40) << sub.name;  // "each no more than 40%"
+  }
+  EXPECT_NEAR(san::UBSanCombinedOverhead(), 2.28, 1e-9);
+}
+
+}  // namespace
+}  // namespace bunshin

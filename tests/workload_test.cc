@@ -1,0 +1,169 @@
+// Tests for the workload catalog and trace generation invariants.
+#include <gtest/gtest.h>
+
+#include "src/nxe/engine.h"
+#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace {
+
+TEST(WorkloadCatalogTest, SuitesMatchThePaper) {
+  EXPECT_EQ(workload::Spec2006().size(), 19u);     // the 19 C/C++ SPEC programs
+  EXPECT_EQ(workload::Splash2x().size(), 13u);     // all of SPLASH-2x
+  EXPECT_EQ(workload::Parsec().size(), 13u);       // all of PARSEC
+  EXPECT_EQ(workload::ParsecSupported().size(), 6u);  // §5.1: six run
+}
+
+TEST(WorkloadCatalogTest, CalibratedAveragesNearPaper) {
+  double asan_sum = 0.0;
+  double ubsan_sum = 0.0;
+  for (const auto& spec : workload::Spec2006()) {
+    asan_sum += spec.overheads.asan;
+    ubsan_sum += spec.overheads.ubsan;
+  }
+  EXPECT_NEAR(asan_sum / 19.0, 1.07, 0.05);   // §5.4: 107%
+  EXPECT_NEAR(ubsan_sum / 19.0, 2.28, 0.10);  // §5.5: 228%
+}
+
+TEST(WorkloadCatalogTest, OutliersAndExceptionsPresent) {
+  EXPECT_GT(workload::FindBenchmark("hmmer")->hottest_share, 0.9);
+  EXPECT_GT(workload::FindBenchmark("lbm")->hottest_share, 0.9);
+  EXPECT_FALSE(workload::FindBenchmark("gcc")->overheads.msan_supported);
+  EXPECT_EQ(workload::FindBenchmark("nonexistent"), nullptr);
+}
+
+// The N-version invariant: all variants of a benchmark must issue the same
+// sync-relevant syscall sequence regardless of scale/jitter/sanitizers.
+TEST(TracegenTest, SyncRelevantSequenceIdenticalAcrossVariants) {
+  const auto& bench = workload::Spec2006()[0];
+  workload::VariantSpec a;
+  a.jitter_seed = 1;
+  workload::VariantSpec b;
+  b.jitter_seed = 99;
+  b.compute_scale = 2.5;
+  b.sanitizers = {san::SanitizerId::kASan};
+
+  const auto ta = workload::BuildTrace(bench, a, 5);
+  const auto tb = workload::BuildTrace(bench, b, 5);
+  ASSERT_EQ(ta.threads.size(), tb.threads.size());
+  for (size_t t = 0; t < ta.threads.size(); ++t) {
+    std::vector<sc::SyscallRecord> sa;
+    std::vector<sc::SyscallRecord> sb;
+    for (const auto& act : ta.threads[t].actions) {
+      if (act.kind == nxe::ActionKind::kSyscall && sc::IsSyncRelevant(act.syscall.no)) {
+        sa.push_back(act.syscall);
+      }
+    }
+    for (const auto& act : tb.threads[t].actions) {
+      if (act.kind == nxe::ActionKind::kSyscall && sc::IsSyncRelevant(act.syscall.no)) {
+        sb.push_back(act.syscall);
+      }
+    }
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_TRUE(sa[i].SameRequest(sb[i])) << "thread " << t << " index " << i;
+    }
+  }
+}
+
+TEST(TracegenTest, SanitizerVariantsCarryRuntimeSyscalls) {
+  const auto& bench = workload::Spec2006()[1];
+  workload::VariantSpec plain;
+  workload::VariantSpec asan;
+  asan.sanitizers = {san::SanitizerId::kASan};
+  const auto tp = workload::BuildTrace(bench, plain, 5);
+  const auto ta = workload::BuildTrace(bench, asan, 5);
+  EXPECT_TRUE(tp.pre_main.empty());
+  EXPECT_FALSE(ta.pre_main.empty());
+  EXPECT_FALSE(ta.post_exit.empty());
+  // The ASan variant has extra in-execution mmap/madvise actions.
+  EXPECT_GT(ta.TotalActions(), tp.TotalActions());
+}
+
+TEST(TracegenTest, SameSeedSameTrace) {
+  const auto& bench = workload::Splash2x()[0];
+  workload::VariantSpec spec;
+  const auto a = workload::BuildTrace(bench, spec, 5);
+  const auto b = workload::BuildTrace(bench, spec, 5);
+  ASSERT_EQ(a.TotalActions(), b.TotalActions());
+  EXPECT_DOUBLE_EQ(a.TotalComputeCost(), b.TotalComputeCost());
+}
+
+TEST(TracegenTest, JitterSeedChangesOnlyCompute) {
+  const auto& bench = workload::Spec2006()[2];
+  workload::VariantSpec a;
+  a.jitter_seed = 1;
+  workload::VariantSpec b;
+  b.jitter_seed = 2;
+  const auto ta = workload::BuildTrace(bench, a, 5);
+  const auto tb = workload::BuildTrace(bench, b, 5);
+  EXPECT_EQ(ta.TotalActions(), tb.TotalActions());
+  EXPECT_NE(ta.TotalComputeCost(), tb.TotalComputeCost());
+}
+
+TEST(TracegenTest, MultithreadedTraceHasLocksAndBarriers) {
+  const auto& bench = workload::Splash2x()[9];  // radiosity
+  workload::VariantSpec spec;
+  const auto trace = workload::BuildTrace(bench, spec, 5);
+  ASSERT_EQ(trace.threads.size(), 4u);
+  size_t locks = 0;
+  size_t barriers = 0;
+  for (const auto& thread : trace.threads) {
+    for (const auto& act : thread.actions) {
+      locks += act.kind == nxe::ActionKind::kLockAcquire ? 1 : 0;
+      barriers += act.kind == nxe::ActionKind::kBarrier ? 1 : 0;
+    }
+  }
+  EXPECT_GT(locks, 0u);
+  EXPECT_EQ(barriers, bench.barriers * trace.threads.size());
+}
+
+TEST(TracegenTest, ServerTraceRequestStructure) {
+  workload::ServerSpec server;
+  server.requests = 8;
+  server.file_kb = 1024;
+  workload::VariantSpec spec;
+  const auto trace = workload::BuildServerTrace(server, spec, 5);
+  size_t writes = 0;
+  size_t accepts = 0;
+  for (const auto& act : trace.threads[0].actions) {
+    if (act.kind != nxe::ActionKind::kSyscall) {
+      continue;
+    }
+    writes += act.syscall.no == sc::Sysno::kWrite ? 1 : 0;
+    accepts += act.syscall.no == sc::Sysno::kAccept ? 1 : 0;
+  }
+  EXPECT_EQ(accepts, 8u);
+  EXPECT_EQ(writes, 8u * 16u);  // 16 chunks per 1MB response
+}
+
+TEST(TracegenTest, IdenticalVariantsRunCleanUnderEngine) {
+  // Property sweep: every supported benchmark must complete with no false
+  // positives under both modes (the §5.1 robustness experiment).
+  nxe::Engine strict(nxe::EngineConfig{});
+  nxe::EngineConfig sel_config;
+  sel_config.mode = nxe::LockstepMode::kSelective;
+  nxe::Engine selective(sel_config);
+  auto check = [&](const workload::BenchmarkSpec& spec) {
+    auto variants = workload::BuildIdenticalVariants(spec, 3, 8);
+    auto r1 = strict.Run(variants);
+    auto r2 = selective.Run(variants);
+    ASSERT_TRUE(r1.ok()) << spec.name;
+    ASSERT_TRUE(r2.ok()) << spec.name;
+    EXPECT_TRUE(r1->completed) << spec.name;
+    EXPECT_TRUE(r2->completed) << spec.name;
+  };
+  for (const auto& spec : workload::Spec2006()) {
+    check(spec);
+  }
+  for (const auto& spec : workload::Splash2x()) {
+    check(spec);
+  }
+  for (const auto& spec : workload::ParsecSupported()) {
+    check(spec);
+  }
+}
+
+}  // namespace
+}  // namespace bunshin
