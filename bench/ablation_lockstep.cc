@@ -1,6 +1,8 @@
 // Ablation: ring-buffer capacity vs performance vs attack window. The
 // design-choice behind selective lockstep (§3.3): a larger ring lets the
 // leader run further ahead (faster) but widens the syscall-distance window.
+#include <algorithm>
+
 #include "bench/bench_util.h"
 
 int main() {
@@ -14,18 +16,25 @@ int main() {
     std::vector<double> gaps;
     uint64_t max_gap = 0;
     for (const auto& spec : workload::Spec2006()) {
-      nxe::EngineConfig config;
-      config.mode = nxe::LockstepMode::kSelective;
-      config.ring_capacity = capacity;
-      config.cache_sensitivity = spec.cache_sensitivity;
-      nxe::Engine engine(config);
-      auto variants = workload::BuildIdenticalVariants(spec, 3, 51);
-      const double baseline = engine.RunBaseline(variants[0]);
-      auto report = engine.Run(variants);
-      if (!report.ok() || !report->completed) {
+      auto session = api::NvxBuilder()
+                         .Benchmark(spec)
+                         .Variants(3)
+                         .Lockstep(nxe::LockstepMode::kSelective)
+                         .RingCapacity(capacity)
+                         .Seed(51)
+                         .Build();
+      if (!session.ok()) {
         continue;
       }
-      overheads.push_back(report->OverheadVs(baseline));
+      auto report = session->Run();
+      if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
+        continue;
+      }
+      auto overhead = report->Overhead();
+      if (!overhead.ok()) {
+        continue;
+      }
+      overheads.push_back(*overhead);
       gaps.push_back(report->avg_syscall_gap);
       max_gap = std::max(max_gap, report->max_syscall_gap);
     }

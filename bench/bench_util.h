@@ -1,4 +1,6 @@
-// Shared helpers for the per-figure/table benchmark harnesses.
+// Shared helpers for the per-figure/table benchmark harnesses. All harnesses
+// program against the unified session API (src/api/nvx.h) — no direct engine
+// or pipeline calls.
 #ifndef BUNSHIN_BENCH_BENCH_UTIL_H_
 #define BUNSHIN_BENCH_BENCH_UTIL_H_
 
@@ -6,10 +8,9 @@
 #include <string>
 #include <vector>
 
-#include "src/nxe/engine.h"
+#include "src/api/nvx.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
-#include "src/workload/tracegen.h"
 #include "src/workload/workload.h"
 
 namespace bunshin {
@@ -19,21 +20,32 @@ namespace bench {
 inline double NxeOverhead(const workload::BenchmarkSpec& bench, size_t n,
                           nxe::LockstepMode mode, uint64_t seed, int cores = 4,
                           double background_load = 0.02) {
-  nxe::EngineConfig config;
-  config.mode = mode;
-  config.cache_sensitivity = bench.cache_sensitivity;
-  config.cost.cores = cores;
-  config.cost.background_load = background_load;
-  nxe::Engine engine(config);
-  auto variants = workload::BuildIdenticalVariants(bench, n, seed);
-  const double baseline = engine.RunBaseline(variants[0]);
-  auto report = engine.Run(variants);
-  if (!report.ok() || !report->completed) {
+  auto session = api::NvxBuilder()
+                     .Benchmark(bench)
+                     .Variants(n)
+                     .Lockstep(mode)
+                     .Cores(cores)
+                     .BackgroundLoad(background_load)
+                     .Seed(seed)
+                     .Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session setup failed on %s: %s\n", bench.name.c_str(),
+                 session.status().ToString().c_str());
+    return -1.0;
+  }
+  auto report = session->Run();
+  if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
     std::fprintf(stderr, "engine failed on %s: %s\n", bench.name.c_str(),
                  report.ok() ? "incident" : report.status().ToString().c_str());
     return -1.0;
   }
-  return report->OverheadVs(baseline);
+  auto overhead = report->Overhead();
+  if (!overhead.ok()) {
+    std::fprintf(stderr, "no baseline on %s: %s\n", bench.name.c_str(),
+                 overhead.status().ToString().c_str());
+    return -1.0;
+  }
+  return *overhead;
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper_reference) {

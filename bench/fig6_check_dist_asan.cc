@@ -1,7 +1,7 @@
 // Figure 6 / §5.4: check distribution on ASan. For each SPEC benchmark the
-// harness profiles the (synthesized) per-function ASan overhead, partitions
+// session profiles the (synthesized) per-function ASan overhead, partitions
 // it over N variants, builds per-variant compute scales, and runs the scaled
-// variants under the NXE.
+// variants under the NXE — all behind one NvxBuilder call.
 //
 // Paper: whole-program ASan 107% average, reduced to 65.6% (2 variants) and
 // 47.1% (3 variants) — about 11 points above the 1/2 and 1/3 optima — with
@@ -9,8 +9,6 @@
 #include <algorithm>
 
 #include "bench/bench_util.h"
-#include "src/distribution/distribution.h"
-#include "src/workload/funcprofile.h"
 
 namespace bunshin {
 namespace {
@@ -21,36 +19,26 @@ struct CaseResult {
 };
 
 CaseResult RunCase(const workload::BenchmarkSpec& spec, size_t n, uint64_t seed) {
-  const auto profile = workload::SynthesizeFunctionProfile(spec, san::SanitizerId::kASan, seed);
-  auto plan = distribution::PlanCheckDistribution(profile, n);
-  if (!plan.ok()) {
+  auto session = api::NvxBuilder()
+                     .Benchmark(spec)
+                     .Variants(n)
+                     .DistributeChecks(san::SanitizerId::kASan)
+                     .Seed(seed)
+                     .Build();
+  if (!session.ok()) {
     return {};
   }
-  const double residual =
-      spec.overheads.asan * workload::ResidualFraction(san::SanitizerId::kASan);
-
-  // Build the N variants: same trace, per-variant compute scale = 1 + its
-  // share of the distributed checks + the non-distributable residual.
-  std::vector<nxe::VariantTrace> variants;
-  CaseResult result;
-  for (size_t v = 0; v < n; ++v) {
-    workload::VariantSpec vs;
-    vs.name = "v" + std::to_string(v);
-    vs.compute_scale = 1.0 + plan->predicted_overhead[v] + residual;
-    vs.jitter_seed = 100 + v;
-    vs.sanitizers = {san::SanitizerId::kASan};
-    result.per_variant_max = std::max(result.per_variant_max, vs.compute_scale - 1.0);
-    variants.push_back(workload::BuildTrace(spec, vs, seed));
+  auto report = session->Run();
+  if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
+    return {};
   }
-
-  nxe::EngineConfig config;
-  config.cache_sensitivity = spec.cache_sensitivity;
-  nxe::Engine engine(config);
-  workload::VariantSpec base_spec;
-  const double baseline = engine.RunBaseline(workload::BuildTrace(spec, base_spec, seed));
-  auto report = engine.Run(variants);
-  if (report.ok() && report->completed) {
-    result.overall = report->OverheadVs(baseline);
+  CaseResult result;
+  for (double scale : report->variant_compute_scale) {
+    result.per_variant_max = std::max(result.per_variant_max, scale - 1.0);
+  }
+  auto overhead = report->Overhead();
+  if (overhead.ok()) {
+    result.overall = *overhead;
   }
   return result;
 }

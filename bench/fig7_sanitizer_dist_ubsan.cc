@@ -1,50 +1,31 @@
-// Figure 7 / §5.5: sanitizer distribution on UBSan's 19 sub-sanitizers.
+// Figure 7 / §5.5: sanitizer distribution on UBSan's 19 sub-sanitizers,
+// driven through the unified session API (the builder scales the catalog
+// overheads to the benchmark, plans the balanced groups, and derives the
+// per-variant compute scales).
 // Paper: all checks 228% average, reduced to 129% (2 variants) and 94.5%
 // (3 variants) — ~15 points above the optima because 19 uneven items do not
 // partition perfectly.
-#include <algorithm>
-
 #include "bench/bench_util.h"
-#include "src/distribution/distribution.h"
-#include "src/workload/funcprofile.h"
 
 namespace bunshin {
 namespace {
 
 double RunCase(const workload::BenchmarkSpec& spec, size_t n, uint64_t seed) {
-  // Scale each sub-sanitizer's catalog overhead to this benchmark (the
-  // benchmark's combined overhead divided by the catalog's combined 228%).
-  const double scale = spec.overheads.ubsan / san::UBSanCombinedOverhead();
-  std::vector<distribution::ProtectionUnit> units;
-  for (const auto& sub : san::UBSanSubSanitizers()) {
-    units.push_back({sub.name, sub.mean_overhead * scale});
-  }
-  auto plan = distribution::PlanSanitizerDistribution(units, n, nullptr);
-  if (!plan.ok()) {
+  auto session = api::NvxBuilder()
+                     .Benchmark(spec)
+                     .Variants(n)
+                     .DistributeUbsanSubSanitizers()
+                     .Seed(seed)
+                     .Build();
+  if (!session.ok()) {
     return -1.0;
   }
-  const double residual =
-      spec.overheads.ubsan * workload::ResidualFraction(san::SanitizerId::kUBSan);
-
-  std::vector<nxe::VariantTrace> variants;
-  for (size_t v = 0; v < n; ++v) {
-    workload::VariantSpec vs;
-    vs.name = "v" + std::to_string(v);
-    vs.compute_scale = 1.0 + plan->group_overheads[v] + residual;
-    vs.jitter_seed = 300 + v;
-    vs.sanitizers = {san::SanitizerId::kUBSan};
-    variants.push_back(workload::BuildTrace(spec, vs, seed));
-  }
-  nxe::EngineConfig config;
-  config.cache_sensitivity = spec.cache_sensitivity;
-  nxe::Engine engine(config);
-  workload::VariantSpec base_spec;
-  const double baseline = engine.RunBaseline(workload::BuildTrace(spec, base_spec, seed));
-  auto report = engine.Run(variants);
-  if (!report.ok() || !report->completed) {
+  auto report = session->Run();
+  if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
     return -1.0;
   }
-  return report->OverheadVs(baseline);
+  auto overhead = report->Overhead();
+  return overhead.ok() ? *overhead : -1.0;
 }
 
 }  // namespace

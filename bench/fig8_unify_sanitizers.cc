@@ -1,13 +1,12 @@
-// Figure 8 / §5.6: unifying ASan, MSan, and UBSan under Bunshin — three
-// variants, each carrying one sanitizer (ASan and MSan conflict and could
-// never be linked together; distribution sidesteps the conflict entirely).
+// Figure 8 / §5.6: unifying ASan, MSan, and UBSan under Bunshin — one
+// session whose variants each carry one sanitizer (ASan and MSan conflict
+// and could never be linked together; distribution sidesteps the conflict
+// entirely; the builder drops MSan on benchmarks that cannot run it).
 // Paper: combined slowdown 278% on average, only 4.99% above the slowest
 // individual sanitizer; gcc excluded from MSan; dealII/xalancbmk at 4x scale.
 #include <algorithm>
 
 #include "bench/bench_util.h"
-#include "src/distribution/distribution.h"
-#include "src/workload/funcprofile.h"
 
 namespace bunshin {
 namespace {
@@ -23,35 +22,32 @@ Row RunCase(const workload::BenchmarkSpec& spec, uint64_t seed) {
   Row row{spec.overheads.asan, spec.overheads.msan, spec.overheads.ubsan,
           spec.overheads.msan_supported, 0.0, 0.0};
 
-  std::vector<std::pair<san::SanitizerId, double>> sans = {
-      {san::SanitizerId::kASan, row.asan}, {san::SanitizerId::kUBSan, row.ubsan}};
-  if (row.msan_ok) {
-    sans.push_back({san::SanitizerId::kMSan, row.msan});
+  auto session = api::NvxBuilder()
+                     .Benchmark(spec)
+                     .Variants(3)
+                     .DistributeSanitizers({san::SanitizerId::kASan, san::SanitizerId::kUBSan,
+                                            san::SanitizerId::kMSan})
+                     .MeasureStandalone()
+                     .Seed(seed)
+                     .Build();
+  if (!session.ok()) {
+    return row;
   }
-  std::vector<nxe::VariantTrace> variants;
-  for (size_t v = 0; v < sans.size(); ++v) {
-    workload::VariantSpec vs;
-    vs.name = san::SanitizerName(sans[v].first);
-    vs.compute_scale = 1.0 + sans[v].second;
-    vs.jitter_seed = 700 + v;
-    vs.sanitizers = {sans[v].first};
-    variants.push_back(workload::BuildTrace(spec, vs, seed));
+  auto report = session->Run();
+  if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
+    return row;
   }
-  nxe::EngineConfig config;
-  config.cache_sensitivity = spec.cache_sensitivity;
-  nxe::Engine engine(config);
-  workload::VariantSpec base_spec;
-  const double baseline = engine.RunBaseline(workload::BuildTrace(spec, base_spec, seed));
 
-  // "Slowest sanitizer alone" is measured the same way the paper measures it:
-  // run each singly-instrumented build standalone and take the worst.
-  row.slowest = 0.0;
-  for (const auto& variant : variants) {
-    row.slowest = std::max(row.slowest, engine.RunBaseline(variant) / baseline - 1.0);
+  // "Slowest sanitizer alone" is measured the same way the paper measures
+  // it: each singly-instrumented build standalone, worst one wins.
+  if (report->baseline_time.has_value() && *report->baseline_time > 0.0) {
+    for (double standalone : report->variant_standalone_time) {
+      row.slowest = std::max(row.slowest, standalone / *report->baseline_time - 1.0);
+    }
   }
-  auto report = engine.Run(variants);
-  if (report.ok() && report->completed) {
-    row.combined = report->OverheadVs(baseline);
+  auto overhead = report->Overhead();
+  if (overhead.ok()) {
+    row.combined = *overhead;
   }
   return row;
 }

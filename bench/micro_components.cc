@@ -2,15 +2,14 @@
 // partitioners, the instrumentation + slicing passes, and the engine.
 #include <benchmark/benchmark.h>
 
+#include "src/api/nvx.h"
 #include "src/ir/interp.h"
 #include "src/partition/partition.h"
 #include "src/ringbuf/ringbuf.h"
 #include "src/sanitizer/asan_pass.h"
 #include "src/slicing/slicer.h"
 #include "src/support/rng.h"
-#include "src/nxe/engine.h"
-#include "src/workload/funcprofile.h"
-#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
 #include "tests/testutil.h"
 
 namespace bunshin {
@@ -21,7 +20,7 @@ void BM_SpscRingPushPop(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     ring.TryPush(i++);
-    uint64_t out;
+    uint64_t out = 0;
     ring.TryPop(&out);
     benchmark::DoNotOptimize(out);
   }
@@ -34,7 +33,7 @@ void BM_BroadcastRingPublishConsume(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     ring.TryPublish(i++);
-    uint64_t out;
+    uint64_t out = 0;
     for (size_t c = 0; c < followers; ++c) {
       ring.TryConsume(c, &out);
     }
@@ -102,17 +101,22 @@ void BM_Interpreter(benchmark::State& state) {
 }
 BENCHMARK(BM_Interpreter);
 
-void BM_EngineSpecRun(benchmark::State& state) {
+// Times the full session path (trace build + baseline + engine sync) — the
+// cost a bench driver pays per Run(). The engine's own share dominates; see
+// the ROADMAP hot-path item.
+void BM_SessionSpecRun(benchmark::State& state) {
   const auto& bench_spec = workload::Spec2006()[1];  // bzip2
-  auto variants = workload::BuildIdenticalVariants(bench_spec, 3, 5);
-  nxe::EngineConfig config;
-  nxe::Engine engine(config);
+  auto session = api::NvxBuilder().Benchmark(bench_spec).Variants(3).Seed(5).Build();
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
-    auto report = engine.Run(variants);
+    auto report = session->Run();
     benchmark::DoNotOptimize(report);
   }
 }
-BENCHMARK(BM_EngineSpecRun);
+BENCHMARK(BM_SessionSpecRun);
 
 }  // namespace
 }  // namespace bunshin

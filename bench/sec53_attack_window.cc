@@ -2,19 +2,21 @@
 // distance between the leader and the slowest follower. Paper: average gap 5
 // for CPU-intensive programs (SPEC/SPLASH-2x/PARSEC) and 1 for IO-intensive
 // servers — small because IO-related syscalls stay in lockstep.
+#include <algorithm>
+
 #include "bench/bench_util.h"
 
 namespace bunshin {
 namespace {
 
-double GapFor(const std::vector<nxe::VariantTrace>& variants, double cache_sensitivity,
-              uint64_t* max_gap) {
-  nxe::EngineConfig config;
-  config.mode = nxe::LockstepMode::kSelective;
-  config.cache_sensitivity = cache_sensitivity;
-  nxe::Engine engine(config);
-  auto report = engine.Run(variants);
-  if (!report.ok() || !report->completed) {
+double GapFor(api::NvxBuilder& builder, uint64_t* max_gap) {
+  auto session =
+      builder.Variants(3).Lockstep(nxe::LockstepMode::kSelective).Seed(3).Build();
+  if (!session.ok()) {
+    return -1;
+  }
+  auto report = session->Run();
+  if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
     return -1;
   }
   *max_gap = std::max(*max_gap, report->max_syscall_gap);
@@ -32,12 +34,14 @@ int main() {
   std::vector<double> cpu_gaps;
   uint64_t cpu_max = 0;
   for (const auto& spec : workload::Spec2006()) {
-    cpu_gaps.push_back(
-        GapFor(workload::BuildIdenticalVariants(spec, 3, 3), spec.cache_sensitivity, &cpu_max));
+    api::NvxBuilder builder;
+    builder.Benchmark(spec);
+    cpu_gaps.push_back(GapFor(builder, &cpu_max));
   }
   for (const auto& spec : workload::Splash2x()) {
-    cpu_gaps.push_back(
-        GapFor(workload::BuildIdenticalVariants(spec, 3, 3), spec.cache_sensitivity, &cpu_max));
+    api::NvxBuilder builder;
+    builder.Benchmark(spec);
+    cpu_gaps.push_back(GapFor(builder, &cpu_max));
   }
 
   std::vector<double> io_gaps;
@@ -47,8 +51,9 @@ int main() {
     server.name = server_name;
     server.threads = std::string(server_name) == "nginx" ? 4 : 1;
     server.file_kb = 1;
-    io_gaps.push_back(
-        GapFor(workload::BuildIdenticalServerVariants(server, 3, 3), 1.0, &io_max));
+    api::NvxBuilder builder;
+    builder.Server(server);
+    io_gaps.push_back(GapFor(builder, &io_max));
   }
 
   Table table({"workload class", "avg syscall gap", "max gap"});

@@ -1,8 +1,9 @@
 // Table 2: lighttpd and nginx latency under the NXE (3 variants), strict and
 // selective lockstep, 1KB vs 1MB responses, 64/512/1024 concurrent
-// connections. Paper: 1KB averages 20.56% (strict) / 16.4% (selective);
-// 1MB averages 1.57% / 1.31% — the absolute cost is similar but amortizes
-// into the transfer time of large responses.
+// connections — one session per server/mode configuration.
+// Paper: 1KB averages 20.56% (strict) / 16.4% (selective); 1MB averages
+// 1.57% / 1.31% — the absolute cost is similar but amortizes into the
+// transfer time of large responses.
 #include "bench/bench_util.h"
 
 namespace bunshin {
@@ -15,26 +16,31 @@ struct ConfigResult {
 };
 
 ConfigResult RunConfig(const workload::ServerSpec& server, uint64_t seed) {
-  ConfigResult out{};
-  nxe::EngineConfig config;
-  config.cache_sensitivity = 1.0;
-  nxe::Engine engine(config);
-
-  workload::VariantSpec base_spec;
-  const auto base_trace = workload::BuildServerTrace(server, base_spec, seed);
+  // -1 marks a mode that failed to build/run (never mistaken for a perfect
+  // zero-overhead measurement).
+  ConfigResult out{-1, -1, -1, -1, -1};
   const double requests = static_cast<double>(server.requests);
   // 0.1 microseconds per abstract cycle.
   const double us_per_cycle = 0.1;
-  out.base_us = engine.RunBaseline(base_trace) / requests * us_per_cycle;
 
-  auto variants = workload::BuildIdenticalServerVariants(server, 3, seed);
   for (auto mode : {nxe::LockstepMode::kStrict, nxe::LockstepMode::kSelective}) {
-    nxe::EngineConfig mode_config = config;
-    mode_config.mode = mode;
-    nxe::Engine mode_engine(mode_config);
-    auto report = mode_engine.Run(variants);
-    const double us =
-        report.ok() && report->completed ? report->total_time / requests * us_per_cycle : -1;
+    auto session = api::NvxBuilder()
+                       .Server(server)
+                       .Variants(3)
+                       .Lockstep(mode)
+                       .Seed(seed)
+                       .Build();
+    if (!session.ok()) {
+      return out;
+    }
+    auto report = session->Run();
+    const bool good = report.ok() && report->outcome == api::NvxOutcome::kOk &&
+                      report->baseline_time.has_value();
+    if (!good) {
+      return out;
+    }
+    out.base_us = *report->baseline_time / requests * us_per_cycle;
+    const double us = report->total_time / requests * us_per_cycle;
     if (mode == nxe::LockstepMode::kStrict) {
       out.strict_us = us;
       out.strict_pct = us / out.base_us - 1.0;

@@ -1,11 +1,13 @@
 // Quickstart: protect a small program with ASan checks split across two
 // variants, then watch the N-version system catch a buffer overflow that
 // either variant alone (with its half of the checks) might have missed.
+// Everything goes through the unified session API: NvxBuilder configures the
+// pipeline, NvxSession runs it, RunReport carries the verdict.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
 
-#include "src/core/bunshin.h"
+#include "src/api/nvx.h"
 #include "src/ir/builder.h"
 
 using namespace bunshin;
@@ -35,22 +37,25 @@ static std::unique_ptr<ir::Module> BuildProgram() {
 int main() {
   auto program = BuildProgram();
 
-  // One call builds the whole pipeline: instrument with ASan, profile on a
-  // benign workload, split the checks 50/50, de-instrument each variant's
-  // unassigned half.
-  auto system = core::IrNvxSystem::CreateCheckDistributed(
-      *program, san::SanitizerId::kASan,
-      /*profiling_workload=*/{{"main", {0}}, {"main", {7}}, {"main", {3}}},
-      core::Options{.n_variants = 2});
-  if (!system.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", system.status().ToString().c_str());
+  // One builder chain configures the whole pipeline: instrument with ASan,
+  // profile on a benign workload, split the checks 50/50, de-instrument each
+  // variant's unassigned half.
+  auto session = api::NvxBuilder()
+                     .Module(*program)
+                     .Variants(2)
+                     .DistributeChecks(san::SanitizerId::kASan)
+                     .ProfilingWorkload({{"main", {0}}, {"main", {7}}, {"main", {3}}})
+                     .Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", session.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("Built %zu variants. Check assignment:\n", system->n_variants());
-  for (size_t v = 0; v < system->n_variants(); ++v) {
+  std::printf("Built %zu variants on the %s backend. Check assignment:\n",
+              session->n_variants(), session->backend_name());
+  for (size_t v = 0; v < session->n_variants(); ++v) {
     std::printf("  variant %zu protects:", v);
-    for (const auto& fn : system->check_plan().protected_functions[v]) {
+    for (const auto& fn : session->check_plan()->protected_functions[v]) {
       std::printf(" %s", fn.c_str());
     }
     std::printf("\n");
@@ -58,18 +63,22 @@ int main() {
 
   // Benign queries: every variant agrees, the caller sees one answer.
   for (int64_t q : {0, 3, 7}) {
-    const auto result = system->Run("main", {q});
+    const auto result = session->Run(api::Call("main", {q}));
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
     std::printf("lookup(%lld) -> %lld (%s)\n", static_cast<long long>(q),
-                static_cast<long long>(result.return_value),
-                result.outcome == core::NvxOutcome::kOk ? "all variants agree" : "?!");
+                static_cast<long long>(result->return_value.value_or(-1)),
+                result->outcome == api::NvxOutcome::kOk ? "all variants agree" : "?!");
   }
 
   // The exploit: index 8 walks into the redzone. The variant that kept
   // lookup's checks raises the ASan report; the monitor aborts everything.
-  const auto attack = system->Run("main", {8});
-  if (attack.outcome == core::NvxOutcome::kDetected) {
-    std::printf("lookup(8) -> BLOCKED: variant %zu fired %s\n", attack.detecting_variant,
-                attack.detector.c_str());
+  const auto attack = session->Run(api::Call("main", {8}));
+  if (attack.ok() && attack->outcome == api::NvxOutcome::kDetected) {
+    std::printf("lookup(8) -> BLOCKED: variant %zu fired %s\n", attack->detection->variant,
+                attack->detection->detector.c_str());
     return 0;
   }
   std::printf("lookup(8) was not caught — this should not happen\n");

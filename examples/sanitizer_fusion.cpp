@@ -7,8 +7,9 @@
 //   $ ./build/examples/sanitizer_fusion
 #include <cstdio>
 
-#include "src/core/bunshin.h"
+#include "src/api/nvx.h"
 #include "src/ir/builder.h"
+#include "src/ir/interp.h"
 #include "src/sanitizer/asan_pass.h"
 #include "src/sanitizer/msan_pass.h"
 
@@ -63,43 +64,43 @@ int main() {
                     : "FALSE ALARM / crash — the runtimes conflict, as the paper says");
   }
 
-  // Now the Bunshin way: distribute the sanitizers across two variants.
-  auto system = core::IrNvxSystem::CreateSanitizerDistributed(
-      *program, {san::SanitizerId::kASan, san::SanitizerId::kMSan},
-      core::Options{.n_variants = 2});
-  if (!system.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", system.status().ToString().c_str());
+  // Now the Bunshin way: one session distributing the sanitizers across two
+  // variants.
+  auto session = api::NvxBuilder()
+                     .Module(*program)
+                     .Variants(2)
+                     .DistributeSanitizers({san::SanitizerId::kASan, san::SanitizerId::kMSan})
+                     .Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", session.status().ToString().c_str());
     return 1;
   }
-  std::printf("\nSanitizer groups: variant 0 = [");
-  for (const auto& name : system->sanitizer_groups()[0]) {
-    std::printf("%s", name.c_str());
-  }
-  std::printf("], variant 1 = [");
-  for (const auto& name : system->sanitizer_groups()[1]) {
-    std::printf("%s", name.c_str());
-  }
-  std::printf("]\n");
+  std::printf("\nSanitizer groups: variant 0 = [%s], variant 1 = [%s]\n",
+              session->variant_labels()[0].c_str(), session->variant_labels()[1].c_str());
 
-  const auto benign = system->Run("main", {0});
+  const auto benign = session->Run(api::Call("main", {0}));
+  if (!benign.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", benign.status().ToString().c_str());
+    return 1;
+  }
   std::printf("benign input: %s (returned %lld)\n",
-              benign.outcome == core::NvxOutcome::kOk ? "all variants agree" : "?!",
-              static_cast<long long>(benign.return_value));
+              benign->outcome == api::NvxOutcome::kOk ? "all variants agree" : "?!",
+              static_cast<long long>(benign->return_value.value_or(-1)));
 
-  const auto overflow = system->Run("main", {1});
+  const auto overflow = session->Run(api::Call("main", {1}));
   std::printf("overflow input: %s\n",
-              overflow.outcome == core::NvxOutcome::kDetected
-                  ? ("detected by " + overflow.detector).c_str()
+              overflow.ok() && overflow->outcome == api::NvxOutcome::kDetected
+                  ? ("detected by " + overflow->detection->detector).c_str()
                   : "MISSED");
 
-  const auto uninit = system->Run("main", {2});
+  const auto uninit = session->Run(api::Call("main", {2}));
   std::printf("uninitialized-read input: %s\n",
-              uninit.outcome == core::NvxOutcome::kDetected
-                  ? ("detected by " + uninit.detector).c_str()
+              uninit.ok() && uninit->outcome == api::NvxOutcome::kDetected
+                  ? ("detected by " + uninit->detection->detector).c_str()
                   : "MISSED");
 
-  return overflow.outcome == core::NvxOutcome::kDetected &&
-                 uninit.outcome == core::NvxOutcome::kDetected
+  return overflow.ok() && overflow->outcome == api::NvxOutcome::kDetected && uninit.ok() &&
+                 uninit->outcome == api::NvxOutcome::kDetected
              ? 0
              : 1;
 }

@@ -6,15 +6,15 @@
 //   $ ./build/examples/server_protection
 #include <cstdio>
 
+#include "src/api/nvx.h"
 #include "src/attack/cve.h"
-#include "src/nxe/engine.h"
-#include "src/workload/tracegen.h"
 
 using namespace bunshin;
 
 int main() {
   // Phase 1: steady-state performance. Three clones of the server processing
-  // 64 requests, strict lockstep.
+  // 64 requests, strict lockstep, with an observer watching each variant
+  // retire instead of re-parsing the report afterwards.
   workload::ServerSpec server;
   server.name = "nginx";
   server.threads = 4;
@@ -22,21 +22,36 @@ int main() {
   server.file_kb = 1;
   server.concurrency = 512;
 
-  nxe::EngineConfig config;
-  config.mode = nxe::LockstepMode::kStrict;
-  nxe::Engine engine(config);
+  api::Observer observer;
+  observer.on_variant_finish = [](size_t variant, double finish_time) {
+    std::printf("  [observer] variant %zu retired at %.0f cycles\n", variant, finish_time);
+  };
+  observer.on_incident = [](const api::RunReport& report) {
+    std::printf("  [observer] INCIDENT: %s\n", api::NvxOutcomeName(report.outcome));
+  };
 
-  auto variants = workload::BuildIdenticalServerVariants(server, 3, 2026);
-  const double baseline = engine.RunBaseline(variants[0]);
-  auto report = engine.Run(variants);
-  if (!report.ok() || !report->completed) {
-    std::fprintf(stderr, "steady-state run failed\n");
+  auto session = api::NvxBuilder()
+                     .Server(server)
+                     .Variants(3)
+                     .Lockstep(nxe::LockstepMode::kStrict)
+                     .Seed(2026)
+                     .SetObserver(observer)
+                     .Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", session.status().ToString().c_str());
     return 1;
   }
   std::printf("nginx (4 workers) under 3-variant NXE, 512 concurrent connections:\n");
+  auto report = session->Run();
+  if (!report.ok() || report->outcome != api::NvxOutcome::kOk ||
+      !report->baseline_time.has_value()) {
+    std::fprintf(stderr, "steady-state run failed\n");
+    return 1;
+  }
+  auto overhead = report->Overhead();
   std::printf("  per-request latency: %.2f us -> %.2f us (overhead %.1f%%)\n",
-              baseline / 64 * 0.1, report->total_time / 64 * 0.1,
-              report->OverheadVs(baseline) * 100.0);
+              *report->baseline_time / 64 * 0.1, report->total_time / 64 * 0.1,
+              (overhead.ok() ? *overhead : 0.0) * 100.0);
   std::printf("  syscalls synchronized: %llu, sanitizer syscalls ignored: %llu\n",
               static_cast<unsigned long long>(report->synced_syscalls),
               static_cast<unsigned long long>(report->ignored_syscalls));

@@ -1,0 +1,611 @@
+#include "src/api/nvx.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/enum_name.h"
+#include "src/workload/funcprofile.h"
+
+namespace bunshin {
+namespace api {
+namespace {
+
+// Whole-program slowdown `sanitizer` imposes on `bench` (the calibrated
+// per-benchmark value when the spec carries one, the catalog mean otherwise).
+StatusOr<double> SpecOverhead(const workload::BenchmarkSpec& bench, san::SanitizerId sanitizer) {
+  switch (sanitizer) {
+    case san::SanitizerId::kASan:
+      return bench.overheads.asan;
+    case san::SanitizerId::kMSan:
+      if (!bench.overheads.msan_supported) {
+        return FailedPrecondition("msan is not supported on benchmark " + bench.name);
+      }
+      return bench.overheads.msan;
+    case san::SanitizerId::kUBSan:
+      return bench.overheads.ubsan;
+    default:
+      return san::GetSanitizer(sanitizer).mean_overhead;
+  }
+}
+
+void NotifyVariantFinishes(const RunReport& report, const Observer& observer) {
+  if (!observer.on_variant_finish) {
+    return;
+  }
+  for (size_t v = 0; v < report.variant_finish_time.size(); ++v) {
+    observer.on_variant_finish(v, report.variant_finish_time[v]);
+  }
+}
+
+void NotifyIncident(const RunReport& report, const Observer& observer) {
+  if (report.outcome != NvxOutcome::kOk && observer.on_incident) {
+    observer.on_incident(report);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IrBackend: variants of an ir::Module executed on the interpreter.
+// ---------------------------------------------------------------------------
+
+class IrBackend final : public Backend {
+ public:
+  IrBackend(core::IrNvxSystem system, std::unique_ptr<ir::Module> baseline, uint64_t fuel,
+            bool has_check_plan, std::vector<std::string> labels)
+      : system_(std::move(system)),
+        baseline_(std::move(baseline)),
+        fuel_(fuel),
+        has_check_plan_(has_check_plan),
+        labels_(std::move(labels)) {}
+
+  const char* name() const override { return "ir"; }
+  size_t n_variants() const override { return system_.n_variants(); }
+  const std::vector<std::string>& variant_labels() const override { return labels_; }
+
+  const distribution::CheckDistributionPlan* check_plan() const override {
+    return has_check_plan_ ? &system_.check_plan() : nullptr;
+  }
+  const std::vector<std::vector<std::string>>* sanitizer_groups() const override {
+    return system_.sanitizer_groups().empty() ? nullptr : &system_.sanitizer_groups();
+  }
+
+  StatusOr<RunReport> Run(const RunRequest& request, const Observer& observer) const override {
+    RunReport report;
+    report.backend = name();
+
+    // The reference run: the uninstrumented module on the same input.
+    {
+      ir::Interpreter interp(baseline_.get());
+      interp.set_fuel(fuel_);
+      const ir::ExecResult base = interp.Run(request.entry, request.args);
+      if (base.outcome == ir::Outcome::kReturned) {
+        report.baseline_time = static_cast<double>(base.cost);
+      }
+    }
+
+    const core::DetailedNvxRun detailed = system_.RunDetailed(request.entry, request.args);
+
+    report.variant_finish_time.reserve(detailed.runs.size());
+    for (const auto& run : detailed.runs) {
+      const double finish = static_cast<double>(run.cost);
+      report.variant_finish_time.push_back(finish);
+      report.total_time = std::max(report.total_time, finish);
+    }
+
+    // Telemetry from the leader's event stream: observable events are the
+    // syscall analogues the system synchronized on; the rest were filtered
+    // as sanitizer-internal.
+    if (!detailed.runs.empty()) {
+      const auto& leader = detailed.runs.front();
+      const size_t observable = core::FilterObservable(leader.events).size();
+      report.synced_syscalls = observable;
+      report.ignored_syscalls = leader.events.size() - observable;
+    }
+
+    const core::NvxResult& result = detailed.result;
+    switch (result.outcome) {
+      case core::NvxOutcome::kOk:
+        report.outcome = NvxOutcome::kOk;
+        report.return_value = result.return_value;
+        break;
+      case core::NvxOutcome::kDetected:
+        report.outcome = NvxOutcome::kDetected;
+        report.detection = Detection{result.detecting_variant, 0, result.detector};
+        report.aborted_all = true;
+        break;
+      case core::NvxOutcome::kDiverged:
+        report.outcome = NvxOutcome::kDiverged;
+        report.divergence = Divergence{result.diverging_variant, 0, 0, "", "",
+                                       result.divergence_detail};
+        report.aborted_all = true;
+        break;
+    }
+
+    NotifyVariantFinishes(report, observer);
+    NotifyIncident(report, observer);
+    return report;
+  }
+
+ private:
+  core::IrNvxSystem system_;
+  std::unique_ptr<ir::Module> baseline_;
+  uint64_t fuel_;
+  bool has_check_plan_;
+  std::vector<std::string> labels_;
+};
+
+// ---------------------------------------------------------------------------
+// TraceBackend: calibrated VariantTraces replayed under the NXE.
+// ---------------------------------------------------------------------------
+
+class TraceBackend final : public Backend {
+ public:
+  TraceBackend(std::optional<workload::BenchmarkSpec> bench,
+               std::optional<workload::ServerSpec> server,
+               std::vector<workload::VariantSpec> variant_specs,
+               std::vector<DetectInjection> injections, nxe::EngineConfig config,
+               uint64_t seed, std::vector<std::string> labels,
+               std::optional<distribution::CheckDistributionPlan> check_plan,
+               std::vector<std::vector<std::string>> sanitizer_groups,
+               bool measure_standalone)
+      : bench_(std::move(bench)),
+        server_(std::move(server)),
+        variant_specs_(std::move(variant_specs)),
+        injections_(std::move(injections)),
+        config_(config),
+        seed_(seed),
+        labels_(std::move(labels)),
+        check_plan_(std::move(check_plan)),
+        sanitizer_groups_(std::move(sanitizer_groups)),
+        measure_standalone_(measure_standalone) {}
+
+  const char* name() const override { return "trace"; }
+  size_t n_variants() const override { return variant_specs_.size(); }
+  const std::vector<std::string>& variant_labels() const override { return labels_; }
+
+  const distribution::CheckDistributionPlan* check_plan() const override {
+    return check_plan_.has_value() ? &*check_plan_ : nullptr;
+  }
+  const std::vector<std::vector<std::string>>* sanitizer_groups() const override {
+    return sanitizer_groups_.empty() ? nullptr : &sanitizer_groups_;
+  }
+
+  StatusOr<RunReport> Run(const RunRequest& request, const Observer& observer) const override {
+    const uint64_t seed = request.workload_seed.value_or(seed_);
+
+    std::vector<nxe::VariantTrace> traces;
+    traces.reserve(variant_specs_.size());
+    for (const auto& spec : variant_specs_) {
+      traces.push_back(BuildOne(spec, seed));
+    }
+    for (const auto& injection : injections_) {
+      // Splice the firing check mid-run into the variant's first thread (the
+      // attack reaches the vulnerable function partway through execution).
+      auto& actions = traces[injection.variant].threads.front().actions;
+      actions.insert(actions.begin() + static_cast<ptrdiff_t>(actions.size() / 2),
+                     nxe::ThreadAction::Detect(injection.detector));
+    }
+
+    nxe::Engine engine(config_);
+
+    RunReport report;
+    report.backend = name();
+    report.baseline_time = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed));
+    report.variant_compute_scale.reserve(traces.size());
+    for (const auto& spec : variant_specs_) {
+      report.variant_compute_scale.push_back(spec.compute_scale);
+    }
+    if (measure_standalone_) {
+      report.variant_standalone_time.reserve(traces.size());
+      for (const auto& trace : traces) {
+        report.variant_standalone_time.push_back(engine.RunBaseline(trace));
+      }
+    }
+
+    auto sync = engine.Run(traces);
+    if (!sync.ok()) {
+      return sync.status();
+    }
+
+    report.total_time = sync->total_time;
+    report.variant_finish_time = sync->variant_finish_time;
+    report.aborted_all = sync->aborted_all;
+    report.synced_syscalls = sync->synced_syscalls;
+    report.ignored_syscalls = sync->ignored_syscalls;
+    report.lockstep_barriers = sync->lockstep_barriers;
+    report.lock_acquisitions = sync->lock_acquisitions;
+    report.avg_syscall_gap = sync->avg_syscall_gap;
+    report.max_syscall_gap = sync->max_syscall_gap;
+
+    if (sync->detection.has_value()) {
+      report.outcome = NvxOutcome::kDetected;
+      report.detection =
+          Detection{sync->detection->variant, sync->detection->thread, sync->detection->detector};
+    } else if (sync->divergence.has_value()) {
+      const nxe::Divergence& d = *sync->divergence;
+      report.outcome = NvxOutcome::kDiverged;
+      report.divergence =
+          Divergence{d.variant, d.thread, d.sync_index, d.expected, d.actual,
+                     "variant " + std::to_string(d.variant) + " expected '" + d.expected +
+                         "' got '" + d.actual + "'"};
+    } else if (sync->completed) {
+      report.outcome = NvxOutcome::kOk;
+    } else {
+      return Internal("engine run neither completed nor reported an incident");
+    }
+
+    NotifyVariantFinishes(report, observer);
+    NotifyIncident(report, observer);
+    return report;
+  }
+
+ private:
+  nxe::VariantTrace BuildOne(const workload::VariantSpec& spec, uint64_t seed) const {
+    if (server_.has_value()) {
+      return workload::BuildServerTrace(*server_, spec, seed);
+    }
+    return workload::BuildTrace(*bench_, spec, seed);
+  }
+
+  std::optional<workload::BenchmarkSpec> bench_;
+  std::optional<workload::ServerSpec> server_;
+  std::vector<workload::VariantSpec> variant_specs_;
+  std::vector<DetectInjection> injections_;
+  nxe::EngineConfig config_;
+  uint64_t seed_;
+  std::vector<std::string> labels_;
+  std::optional<distribution::CheckDistributionPlan> check_plan_;
+  std::vector<std::vector<std::string>> sanitizer_groups_;
+  bool measure_standalone_ = false;
+};
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) {
+      out += "+";
+    }
+    out += name;
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
+
+const char* NvxOutcomeName(NvxOutcome outcome) {
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(NvxOutcome::kOk), "ok"},
+      {static_cast<int>(NvxOutcome::kDetected), "detected"},
+      {static_cast<int>(NvxOutcome::kDiverged), "diverged"},
+  };
+  return support::EnumName(kNames, outcome);
+}
+
+const char* DistributionStrategyName(DistributionStrategy strategy) {
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(DistributionStrategy::kNone), "identical"},
+      {static_cast<int>(DistributionStrategy::kCheck), "check-distribution"},
+      {static_cast<int>(DistributionStrategy::kSanitizer), "sanitizer-distribution"},
+      {static_cast<int>(DistributionStrategy::kUbsanSub), "ubsan-sub-distribution"},
+  };
+  return support::EnumName(kNames, strategy);
+}
+
+StatusOr<double> RunReport::Overhead() const {
+  if (!baseline_time.has_value() || *baseline_time <= 0.0) {
+    return FailedPrecondition("no valid baseline time in this report");
+  }
+  return total_time / *baseline_time - 1.0;
+}
+
+StatusOr<RunReport> NvxSession::Run(const RunRequest& request) const {
+  return backend_->Run(request, observer_);
+}
+
+// ---------------------------------------------------------------------------
+// NvxBuilder
+// ---------------------------------------------------------------------------
+
+NvxBuilder& NvxBuilder::Module(const ir::Module& module) {
+  module_ = &module;
+  return *this;
+}
+NvxBuilder& NvxBuilder::Benchmark(const workload::BenchmarkSpec& spec) {
+  benchmark_ = spec;
+  return *this;
+}
+NvxBuilder& NvxBuilder::Server(const workload::ServerSpec& spec) {
+  server_ = spec;
+  return *this;
+}
+NvxBuilder& NvxBuilder::Variants(size_t n) {
+  n_variants_ = n;
+  return *this;
+}
+NvxBuilder& NvxBuilder::DistributeChecks(san::SanitizerId sanitizer) {
+  strategy_ = DistributionStrategy::kCheck;
+  check_sanitizer_ = sanitizer;
+  return *this;
+}
+NvxBuilder& NvxBuilder::DistributeSanitizers(std::vector<san::SanitizerId> sanitizers) {
+  strategy_ = DistributionStrategy::kSanitizer;
+  sanitizers_ = std::move(sanitizers);
+  return *this;
+}
+NvxBuilder& NvxBuilder::DistributeUbsanSubSanitizers() {
+  strategy_ = DistributionStrategy::kUbsanSub;
+  return *this;
+}
+NvxBuilder& NvxBuilder::ProfilingWorkload(std::vector<profile::WorkloadRun> workload) {
+  profiling_workload_ = std::move(workload);
+  return *this;
+}
+NvxBuilder& NvxBuilder::PartitionOptions(const partition::PartitionOptions& options) {
+  partition_options_ = options;
+  return *this;
+}
+NvxBuilder& NvxBuilder::InjectDetection(size_t variant, std::string detector) {
+  detect_injections_.push_back({variant, std::move(detector)});
+  return *this;
+}
+NvxBuilder& NvxBuilder::Lockstep(nxe::LockstepMode mode) {
+  engine_config_.mode = mode;
+  return *this;
+}
+NvxBuilder& NvxBuilder::Cost(const nxe::CostModel& cost) {
+  engine_config_.cost = cost;
+  return *this;
+}
+NvxBuilder& NvxBuilder::Cores(int cores) {
+  engine_config_.cost.cores = cores;
+  return *this;
+}
+NvxBuilder& NvxBuilder::BackgroundLoad(double load) {
+  engine_config_.cost.background_load = load;
+  return *this;
+}
+NvxBuilder& NvxBuilder::RingCapacity(size_t slots) {
+  engine_config_.ring_capacity = slots;
+  return *this;
+}
+NvxBuilder& NvxBuilder::CacheSensitivity(double sensitivity) {
+  cache_sensitivity_ = sensitivity;
+  return *this;
+}
+NvxBuilder& NvxBuilder::Seed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+NvxBuilder& NvxBuilder::MeasureStandalone(bool measure) {
+  measure_standalone_ = measure;
+  return *this;
+}
+NvxBuilder& NvxBuilder::InterpreterFuel(uint64_t fuel) {
+  interpreter_fuel_ = fuel;
+  return *this;
+}
+NvxBuilder& NvxBuilder::SetObserver(Observer observer) {
+  observer_ = std::move(observer);
+  return *this;
+}
+
+StatusOr<NvxSession> NvxBuilder::Build() const {
+  const int targets = (module_ != nullptr ? 1 : 0) + (benchmark_.has_value() ? 1 : 0) +
+                      (server_.has_value() ? 1 : 0);
+  if (targets == 0) {
+    return InvalidArgument("no target: call Module(), Benchmark() or Server()");
+  }
+  if (targets > 1) {
+    return InvalidArgument("multiple targets: pick one of Module()/Benchmark()/Server()");
+  }
+  if (n_variants_ == 0) {
+    return InvalidArgument("Variants(n) requires n >= 1");
+  }
+  if (strategy_ == DistributionStrategy::kSanitizer && sanitizers_.empty()) {
+    return InvalidArgument("DistributeSanitizers() requires at least one sanitizer");
+  }
+
+  StatusOr<std::unique_ptr<Backend>> backend =
+      module_ != nullptr ? BuildIrBackend() : BuildTraceBackend();
+  if (!backend.ok()) {
+    return backend.status();
+  }
+
+  NvxSession session(std::move(*backend));
+  session.SetObserver(observer_);
+  return session;
+}
+
+StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend() const {
+  if (!detect_injections_.empty()) {
+    return InvalidArgument(
+        "InjectDetection() needs a trace target; IR detections come from the program itself");
+  }
+
+  core::Options options;
+  options.n_variants = n_variants_;
+  options.partition = partition_options_;
+  options.interpreter_fuel = interpreter_fuel_;
+
+  StatusOr<core::IrNvxSystem> system = InvalidArgument("unreachable");
+  bool has_check_plan = false;
+  switch (strategy_) {
+    case DistributionStrategy::kNone:
+      return InvalidArgument(
+          "a module target needs a distribution strategy (DistributeChecks, "
+          "DistributeSanitizers or DistributeUbsanSubSanitizers)");
+    case DistributionStrategy::kCheck:
+      if (profiling_workload_.empty()) {
+        return InvalidArgument("check distribution on a module requires ProfilingWorkload()");
+      }
+      system = core::IrNvxSystem::CreateCheckDistributed(*module_, check_sanitizer_,
+                                                         profiling_workload_, options);
+      has_check_plan = true;
+      break;
+    case DistributionStrategy::kSanitizer:
+      system = core::IrNvxSystem::CreateSanitizerDistributed(*module_, sanitizers_, options);
+      break;
+    case DistributionStrategy::kUbsanSub:
+      system = core::IrNvxSystem::CreateUbsanDistributed(*module_, options);
+      break;
+  }
+  if (!system.ok()) {
+    return system.status();
+  }
+
+  std::vector<std::string> labels;
+  for (size_t v = 0; v < system->n_variants(); ++v) {
+    if (!system->sanitizer_groups().empty()) {
+      labels.push_back(JoinNames(system->sanitizer_groups()[v]));
+    } else {
+      labels.push_back(std::string(san::SanitizerName(check_sanitizer_)) + "-checks/v" +
+                       std::to_string(v));
+    }
+  }
+
+  return std::unique_ptr<Backend>(new IrBackend(std::move(*system), module_->Clone(),
+                                                interpreter_fuel_, has_check_plan,
+                                                std::move(labels)));
+}
+
+StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildTraceBackend() const {
+  if (server_.has_value() && strategy_ != DistributionStrategy::kNone) {
+    return InvalidArgument("server targets support identical clones only (no distribution)");
+  }
+
+  nxe::EngineConfig config = engine_config_;
+  config.cache_sensitivity = cache_sensitivity_.value_or(
+      benchmark_.has_value() ? benchmark_->cache_sensitivity : 1.0);
+
+  std::vector<workload::VariantSpec> specs;
+  std::vector<std::string> labels;
+  std::optional<distribution::CheckDistributionPlan> check_plan;
+  std::vector<std::vector<std::string>> sanitizer_groups;
+
+  switch (strategy_) {
+    case DistributionStrategy::kNone: {
+      // Matches workload::BuildIdentical{,Server}Variants jitter conventions.
+      const uint64_t jitter_base = server_.has_value() ? 2000 : 1000;
+      for (size_t v = 0; v < n_variants_; ++v) {
+        workload::VariantSpec spec;
+        spec.name = "v" + std::to_string(v);
+        spec.jitter_seed = jitter_base + v;
+        specs.push_back(spec);
+        labels.push_back("clone");
+      }
+      break;
+    }
+    case DistributionStrategy::kCheck: {
+      auto overhead = SpecOverhead(*benchmark_, check_sanitizer_);
+      if (!overhead.ok()) {
+        return overhead.status();
+      }
+      const profile::OverheadProfile profile =
+          workload::SynthesizeFunctionProfile(*benchmark_, check_sanitizer_, seed_);
+      distribution::CheckDistributionOptions dist_options;
+      dist_options.partition = partition_options_;
+      auto plan = distribution::PlanCheckDistribution(profile, n_variants_, dist_options);
+      if (!plan.ok()) {
+        return plan.status();
+      }
+      const double residual = *overhead * workload::ResidualFraction(check_sanitizer_);
+      for (size_t v = 0; v < n_variants_; ++v) {
+        workload::VariantSpec spec;
+        spec.name = "v" + std::to_string(v);
+        spec.compute_scale = 1.0 + plan->predicted_overhead[v] + residual;
+        spec.jitter_seed = 100 + v;
+        spec.sanitizers = {check_sanitizer_};
+        specs.push_back(spec);
+        labels.push_back(std::string(san::SanitizerName(check_sanitizer_)) + "-checks/v" +
+                         std::to_string(v));
+      }
+      check_plan = std::move(*plan);
+      break;
+    }
+    case DistributionStrategy::kSanitizer: {
+      // Drop sanitizers the benchmark cannot run (the paper's gcc/MSan case).
+      std::vector<san::SanitizerId> usable;
+      for (san::SanitizerId id : sanitizers_) {
+        if (id == san::SanitizerId::kMSan && !benchmark_->overheads.msan_supported) {
+          continue;
+        }
+        usable.push_back(id);
+      }
+      if (usable.empty()) {
+        return FailedPrecondition("no requested sanitizer is supported on benchmark " +
+                                  benchmark_->name);
+      }
+      const size_t n = std::min(n_variants_, usable.size());
+      auto plan = distribution::PlanWholeSanitizerDistribution(usable, n);
+      if (!plan.ok()) {
+        return plan.status();
+      }
+      for (size_t v = 0; v < plan->groups.size(); ++v) {
+        workload::VariantSpec spec;
+        spec.jitter_seed = 700 + v;
+        double scale = 1.0;
+        std::vector<std::string> group_names;
+        for (size_t item : plan->groups[v]) {
+          const san::SanitizerId id = usable[item];
+          auto overhead = SpecOverhead(*benchmark_, id);
+          if (!overhead.ok()) {
+            return overhead.status();
+          }
+          scale += *overhead;
+          spec.sanitizers.push_back(id);
+          group_names.push_back(san::SanitizerName(id));
+        }
+        spec.name = JoinNames(group_names);
+        spec.compute_scale = scale;
+        specs.push_back(spec);
+        labels.push_back(JoinNames(group_names));
+        sanitizer_groups.push_back(std::move(group_names));
+      }
+      break;
+    }
+    case DistributionStrategy::kUbsanSub: {
+      // Scale each sub-sanitizer's catalog overhead to this benchmark.
+      const double scale_factor = benchmark_->overheads.ubsan / san::UBSanCombinedOverhead();
+      std::vector<distribution::ProtectionUnit> units;
+      for (const auto& sub : san::UBSanSubSanitizers()) {
+        units.push_back({sub.name, sub.mean_overhead * scale_factor});
+      }
+      auto plan = distribution::PlanSanitizerDistribution(units, n_variants_, nullptr);
+      if (!plan.ok()) {
+        return plan.status();
+      }
+      const double residual =
+          benchmark_->overheads.ubsan * workload::ResidualFraction(san::SanitizerId::kUBSan);
+      for (size_t v = 0; v < plan->groups.size(); ++v) {
+        workload::VariantSpec spec;
+        spec.name = "ubsan/v" + std::to_string(v);
+        spec.compute_scale = 1.0 + plan->group_overheads[v] + residual;
+        spec.jitter_seed = 300 + v;
+        spec.sanitizers = {san::SanitizerId::kUBSan};
+        specs.push_back(spec);
+        std::vector<std::string> group_names;
+        for (size_t item : plan->groups[v]) {
+          group_names.push_back(units[item].name);
+        }
+        labels.push_back(JoinNames(group_names));
+        sanitizer_groups.push_back(std::move(group_names));
+      }
+      break;
+    }
+  }
+
+  for (const auto& injection : detect_injections_) {
+    if (injection.variant >= specs.size()) {
+      return InvalidArgument("InjectDetection() variant index " +
+                             std::to_string(injection.variant) + " out of range (have " +
+                             std::to_string(specs.size()) + " variants)");
+    }
+  }
+
+  return std::unique_ptr<Backend>(new TraceBackend(
+      benchmark_, server_, std::move(specs), detect_injections_, config, seed_,
+      std::move(labels), std::move(check_plan), std::move(sanitizer_groups),
+      measure_standalone_));
+}
+
+}  // namespace api
+}  // namespace bunshin

@@ -1,0 +1,280 @@
+// The unified Bunshin session API (the public surface of this repo).
+//
+// The seed grew two disconnected programming surfaces: the functional
+// pipeline on the IR substrate (src/core, returning NvxResult) and the
+// calibrated trace engine (src/nxe + src/workload, returning SyncReport).
+// This layer puts one narrow facade over both:
+//
+//   auto session = api::NvxBuilder()
+//                      .Benchmark(workload::Spec2006()[0])   // or .Module(m)
+//                      .Variants(3)
+//                      .Lockstep(nxe::LockstepMode::kSelective)
+//                      .DistributeChecks(san::SanitizerId::kASan)
+//                      .Build();
+//   auto report = session->Run();        // -> StatusOr<RunReport>
+//
+// A session owns one Backend:
+//   * IrBackend     — wraps core::IrNvxSystem: builds variants from an
+//     ir::Module by check/sanitizer/UBSan-sub distribution and executes them
+//     on the interpreter;
+//   * TraceBackend  — wraps nxe::Engine + the workload generators: replays
+//     calibrated VariantTraces of a benchmark or server spec under the NXE.
+//
+// Both return the same RunReport (outcome, detection/divergence detail,
+// timing, telemetry, per-variant overhead), and the session invokes observer
+// hooks (on_variant_finish, then on_incident) so monitors and benches stop
+// re-parsing backend-specific reports.
+#ifndef BUNSHIN_SRC_API_NVX_H_
+#define BUNSHIN_SRC_API_NVX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/bunshin.h"
+#include "src/distribution/distribution.h"
+#include "src/ir/ir.h"
+#include "src/nxe/engine.h"
+#include "src/profile/profiler.h"
+#include "src/sanitizer/sanitizer.h"
+#include "src/support/status.h"
+#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace api {
+
+// ---------------------------------------------------------------------------
+// RunReport: the one result type every backend produces.
+// ---------------------------------------------------------------------------
+
+enum class NvxOutcome {
+  kOk,        // all variants agreed; the result is trustworthy
+  kDetected,  // a distributed sanity check fired in some variant
+  kDiverged,  // observable-behavior divergence (or a variant crashed)
+};
+
+const char* NvxOutcomeName(NvxOutcome outcome);
+
+struct Detection {
+  size_t variant = 0;
+  size_t thread = 0;
+  std::string detector;  // report handler, e.g. "__asan_report_store"
+};
+
+struct Divergence {
+  size_t variant = 0;
+  size_t thread = 0;
+  size_t sync_index = 0;  // position in the filtered sync stream (trace backend)
+  std::string expected;   // leader record (trace backend)
+  std::string actual;     // follower record (trace backend)
+  std::string detail;     // human-readable summary (both backends)
+};
+
+struct RunReport {
+  std::string backend;  // "ir" or "trace"
+
+  // Outcome.
+  NvxOutcome outcome = NvxOutcome::kOk;
+  std::optional<Detection> detection;    // set when kDetected
+  std::optional<Divergence> divergence;  // set when kDiverged
+  bool aborted_all = false;              // monitor killed every variant
+  // Leader's program result when kOk (IR backend only).
+  std::optional<int64_t> return_value;
+
+  // Timing. IR backend measures in weighted interpreter cycles; trace
+  // backend in the engine's abstract cycles.
+  double total_time = 0.0;
+  std::optional<double> baseline_time;  // uninstrumented single run
+  std::vector<double> variant_finish_time;
+  // Each variant run standalone (no synchronization) — what "the slowest
+  // individual sanitizer" comparisons are computed from. Trace backend only,
+  // filled only when the builder asked for MeasureStandalone().
+  std::vector<double> variant_standalone_time;
+  // The sanitizer slowdown each variant carried into the run (1.0 == none).
+  std::vector<double> variant_compute_scale;
+
+  // End-to-end overhead vs the uninstrumented baseline. Errors when the
+  // backend produced no (positive) baseline — never a silent 0.0.
+  StatusOr<double> Overhead() const;
+
+  // Telemetry.
+  uint64_t synced_syscalls = 0;
+  uint64_t ignored_syscalls = 0;  // sanitizer-introduced, filtered
+  uint64_t lockstep_barriers = 0;
+  uint64_t lock_acquisitions = 0;
+  // §5.3 attack-window metric (selective lockstep, trace backend).
+  double avg_syscall_gap = 0.0;
+  uint64_t max_syscall_gap = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Observer hooks. The session guarantees the order: on_variant_finish for
+// each variant in index order, then on_incident at most once.
+// ---------------------------------------------------------------------------
+
+struct Observer {
+  std::function<void(size_t variant, double finish_time)> on_variant_finish;
+  std::function<void(const RunReport& report)> on_incident;
+};
+
+// ---------------------------------------------------------------------------
+// Backend: the pluggable execution substrate behind a session.
+// ---------------------------------------------------------------------------
+
+// One spliced sanitizer detection (attack scenarios / tests): a firing
+// check in `variant`'s trace, mid-run.
+struct DetectInjection {
+  size_t variant = 0;
+  std::string detector;
+};
+
+// One execution request. The IR backend interprets `entry`/`args`; the trace
+// backend replays its builder-configured workload (optionally re-seeded).
+struct RunRequest {
+  std::string entry = "main";
+  std::vector<int64_t> args;
+  std::optional<uint64_t> workload_seed;  // trace backend: override builder seed
+};
+
+// Convenience for the common IR-backend invocation shape.
+inline RunRequest Call(std::string entry, std::vector<int64_t> args) {
+  RunRequest request;
+  request.entry = std::move(entry);
+  request.args = std::move(args);
+  return request;
+}
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t n_variants() const = 0;
+  // Human-readable description of what each variant carries.
+  virtual const std::vector<std::string>& variant_labels() const = 0;
+
+  virtual StatusOr<RunReport> Run(const RunRequest& request, const Observer& observer) const = 0;
+
+  // Introspection; null when the backend has no such plan.
+  virtual const distribution::CheckDistributionPlan* check_plan() const { return nullptr; }
+  virtual const std::vector<std::vector<std::string>>* sanitizer_groups() const {
+    return nullptr;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NvxSession: a built N-version system, ready to run.
+// ---------------------------------------------------------------------------
+
+class NvxSession {
+ public:
+  explicit NvxSession(std::unique_ptr<Backend> backend) : backend_(std::move(backend)) {}
+
+  NvxSession(NvxSession&&) = default;
+  NvxSession& operator=(NvxSession&&) = default;
+
+  StatusOr<RunReport> Run(const RunRequest& request = {}) const;
+
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+  const char* backend_name() const { return backend_->name(); }
+  size_t n_variants() const { return backend_->n_variants(); }
+  const std::vector<std::string>& variant_labels() const { return backend_->variant_labels(); }
+  const distribution::CheckDistributionPlan* check_plan() const {
+    return backend_->check_plan();
+  }
+  const std::vector<std::vector<std::string>>* sanitizer_groups() const {
+    return backend_->sanitizer_groups();
+  }
+
+ private:
+  std::unique_ptr<Backend> backend_;
+  Observer observer_;
+};
+
+// ---------------------------------------------------------------------------
+// NvxBuilder: fluent configuration producing an NvxSession.
+// ---------------------------------------------------------------------------
+
+enum class DistributionStrategy {
+  kNone,       // N identical clones (NXE-efficiency experiments)
+  kCheck,      // one sanitizer's checks split across variants (§3.2)
+  kSanitizer,  // whole sanitizers grouped conflict-free (§3.1/§5.6)
+  kUbsanSub,   // UBSan's 19 sub-sanitizers distributed (§5.5)
+};
+
+const char* DistributionStrategyName(DistributionStrategy strategy);
+
+class NvxBuilder {
+ public:
+  // --- Target selection (exactly one required) -----------------------------
+  // Functional pipeline: build variants of `module` and run the interpreter.
+  NvxBuilder& Module(const ir::Module& module);
+  // Calibrated trace engine: replay variants of a benchmark or server spec.
+  NvxBuilder& Benchmark(const workload::BenchmarkSpec& spec);
+  NvxBuilder& Server(const workload::ServerSpec& spec);
+
+  // --- Variant construction ------------------------------------------------
+  NvxBuilder& Variants(size_t n);
+  NvxBuilder& DistributeChecks(san::SanitizerId sanitizer);
+  NvxBuilder& DistributeSanitizers(std::vector<san::SanitizerId> sanitizers);
+  NvxBuilder& DistributeUbsanSubSanitizers();
+  // Profiling inputs for check distribution on a module (the paper's `train`
+  // run). Required with Module + DistributeChecks.
+  NvxBuilder& ProfilingWorkload(std::vector<profile::WorkloadRun> workload);
+  NvxBuilder& PartitionOptions(const partition::PartitionOptions& options);
+  // Splice a firing sanitizer check into one variant's trace (attack
+  // scenarios / tests). Trace targets only.
+  NvxBuilder& InjectDetection(size_t variant, std::string detector);
+
+  // --- Engine / execution knobs --------------------------------------------
+  NvxBuilder& Lockstep(nxe::LockstepMode mode);
+  NvxBuilder& Cost(const nxe::CostModel& cost);
+  NvxBuilder& Cores(int cores);
+  NvxBuilder& BackgroundLoad(double load);
+  NvxBuilder& RingCapacity(size_t slots);
+  NvxBuilder& CacheSensitivity(double sensitivity);
+  NvxBuilder& Seed(uint64_t seed);
+  // Also run each variant standalone (no synchronization) per Run() so the
+  // report's variant_standalone_time is filled — N extra simulations; off by
+  // default.
+  NvxBuilder& MeasureStandalone(bool measure = true);
+  NvxBuilder& InterpreterFuel(uint64_t fuel);
+  NvxBuilder& SetObserver(Observer observer);
+
+  // Validates the configuration and constructs the session (and its
+  // variants); all configuration errors surface here, not at Run() time.
+  StatusOr<NvxSession> Build() const;
+
+ private:
+  StatusOr<std::unique_ptr<Backend>> BuildIrBackend() const;
+  StatusOr<std::unique_ptr<Backend>> BuildTraceBackend() const;
+
+  const ir::Module* module_ = nullptr;
+  std::optional<workload::BenchmarkSpec> benchmark_;
+  std::optional<workload::ServerSpec> server_;
+
+  size_t n_variants_ = 2;
+  DistributionStrategy strategy_ = DistributionStrategy::kNone;
+  san::SanitizerId check_sanitizer_ = san::SanitizerId::kASan;
+  std::vector<san::SanitizerId> sanitizers_;
+  std::vector<profile::WorkloadRun> profiling_workload_;
+  partition::PartitionOptions partition_options_;
+  std::vector<DetectInjection> detect_injections_;
+
+  nxe::EngineConfig engine_config_;
+  std::optional<double> cache_sensitivity_;
+  bool measure_standalone_ = false;
+  uint64_t seed_ = 42;
+  uint64_t interpreter_fuel_ = 50'000'000;
+  Observer observer_;
+};
+
+}  // namespace api
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_API_NVX_H_

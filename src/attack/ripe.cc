@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/nxe/engine.h"
+#include "src/support/enum_name.h"
 #include "src/syscall/syscall.h"
 
 namespace bunshin {
@@ -210,17 +211,13 @@ std::string RipeAttack::ToString() const {
 }
 
 const char* OutcomeName(RipeOutcome outcome) {
-  switch (outcome) {
-    case RipeOutcome::kSuccess:
-      return "success";
-    case RipeOutcome::kProbabilistic:
-      return "probabilistic";
-    case RipeOutcome::kFailure:
-      return "failure";
-    case RipeOutcome::kNotPossible:
-      return "not-possible";
-  }
-  return "?";
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(RipeOutcome::kSuccess), "success"},
+      {static_cast<int>(RipeOutcome::kProbabilistic), "probabilistic"},
+      {static_cast<int>(RipeOutcome::kFailure), "failure"},
+      {static_cast<int>(RipeOutcome::kNotPossible), "not-possible"},
+  };
+  return support::EnumName(kNames, outcome);
 }
 
 std::vector<RipeAttack> EnumerateRipe() {

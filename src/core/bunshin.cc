@@ -183,10 +183,12 @@ StatusOr<IrNvxSystem> IrNvxSystem::CreateUbsanDistributed(const ir::Module& base
   return system;
 }
 
-NvxResult IrNvxSystem::Run(const std::string& entry, const std::vector<int64_t>& args) const {
-  NvxResult result;
+DetailedNvxRun IrNvxSystem::RunDetailed(const std::string& entry,
+                                        const std::vector<int64_t>& args) const {
+  DetailedNvxRun detailed;
+  NvxResult& result = detailed.result;
 
-  std::vector<ir::ExecResult> runs;
+  std::vector<ir::ExecResult>& runs = detailed.runs;
   runs.reserve(variants_.size());
   for (const auto& variant : variants_) {
     ir::Interpreter interp(variant.get());
@@ -200,7 +202,7 @@ NvxResult IrNvxSystem::Run(const std::string& entry, const std::vector<int64_t>&
       result.outcome = NvxOutcome::kDetected;
       result.detecting_variant = v;
       result.detector = runs[v].detector;
-      return result;
+      return detailed;
     }
   }
 
@@ -208,9 +210,10 @@ NvxResult IrNvxSystem::Run(const std::string& entry, const std::vector<int64_t>&
   for (size_t v = 0; v < runs.size(); ++v) {
     if (runs[v].outcome != ir::Outcome::kReturned) {
       result.outcome = NvxOutcome::kDiverged;
+      result.diverging_variant = v;
       result.divergence_detail =
           "variant " + std::to_string(v) + " aborted: " + runs[v].trap_reason;
-      return result;
+      return detailed;
     }
   }
 
@@ -220,30 +223,33 @@ NvxResult IrNvxSystem::Run(const std::string& entry, const std::vector<int64_t>&
     const std::vector<ir::ExecEvent> events = FilterObservable(runs[v].events);
     if (events.size() != leader_events.size()) {
       result.outcome = NvxOutcome::kDiverged;
+      result.diverging_variant = v;
       result.divergence_detail = "variant " + std::to_string(v) + " event count " +
                                  std::to_string(events.size()) + " vs leader " +
                                  std::to_string(leader_events.size());
-      return result;
+      return detailed;
     }
     for (size_t i = 0; i < events.size(); ++i) {
       if (!(events[i] == leader_events[i])) {
         result.outcome = NvxOutcome::kDiverged;
+        result.diverging_variant = v;
         result.divergence_detail = "variant " + std::to_string(v) + " event " +
                                    std::to_string(i) + ": " + events[i].callee + " vs " +
                                    leader_events[i].callee;
-        return result;
+        return detailed;
       }
     }
     if (runs[v].return_value != runs[0].return_value) {
       result.outcome = NvxOutcome::kDiverged;
+      result.diverging_variant = v;
       result.divergence_detail = "return value mismatch";
-      return result;
+      return detailed;
     }
   }
 
   result.outcome = NvxOutcome::kOk;
   result.return_value = runs[0].return_value;
-  return result;
+  return detailed;
 }
 
 }  // namespace core

@@ -46,7 +46,15 @@ struct NvxResult {
   size_t detecting_variant = 0;
   std::string detector;
   // kDiverged:
+  size_t diverging_variant = 0;
   std::string divergence_detail;
+};
+
+// Verdict plus the raw per-variant interpreter results (cost, events,
+// per-function counters) — what the api layer's RunReport is built from.
+struct DetailedNvxRun {
+  NvxResult result;
+  std::vector<ir::ExecResult> runs;
 };
 
 // Knobs for building an N-version system from a module.
@@ -78,8 +86,15 @@ class IrNvxSystem {
                                                       const Options& options = {});
 
   // Executes every variant on the same input and synchronizes their
-  // observable behavior (external-call streams + return values).
-  NvxResult Run(const std::string& entry, const std::vector<int64_t>& args) const;
+  // observable behavior (external-call streams + return values), keeping the
+  // per-variant interpreter results for report building.
+  DetailedNvxRun RunDetailed(const std::string& entry, const std::vector<int64_t>& args) const;
+
+  // DEPRECATED: thin wrapper over RunDetailed() kept for the old call sites;
+  // new code should program against api::NvxSession (src/api/nvx.h).
+  NvxResult Run(const std::string& entry, const std::vector<int64_t>& args) const {
+    return RunDetailed(entry, args).result;
+  }
 
   size_t n_variants() const { return variants_.size(); }
   const ir::Module& variant(size_t i) const { return *variants_[i]; }

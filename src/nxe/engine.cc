@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/support/enum_name.h"
+
 namespace bunshin {
 namespace nxe {
 
 const char* LockstepModeName(LockstepMode mode) {
-  return mode == LockstepMode::kStrict ? "strict" : "selective";
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(LockstepMode::kStrict), "strict"},
+      {static_cast<int>(LockstepMode::kSelective), "selective"},
+  };
+  return support::EnumName(kNames, mode);
 }
 
 double CostModel::LlcMultiplier(size_t n_variants, double cache_sensitivity) const {

@@ -115,9 +115,12 @@ struct SyncReport {
   double avg_syscall_gap = 0.0;
   uint64_t max_syscall_gap = 0;
 
-  double OverheadVs(double baseline_time) const {
+  // Synchronization overhead relative to `baseline_time`
+  // (total_time / baseline_time - 1). A non-positive baseline is an error,
+  // not a silent 0.0 — callers must check.
+  StatusOr<double> OverheadVs(double baseline_time) const {
     if (baseline_time <= 0.0) {
-      return 0.0;
+      return InvalidArgument("baseline_time must be > 0");
     }
     return total_time / baseline_time - 1.0;
   }

@@ -7,6 +7,8 @@
 #include <queue>
 #include <set>
 
+#include "src/support/enum_name.h"
+
 namespace bunshin {
 namespace partition {
 namespace {
@@ -293,17 +295,13 @@ std::vector<std::vector<size_t>> FptasPeel(const std::vector<double>& weights, s
 }  // namespace
 
 const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kGreedyLpt:
-      return "greedy-lpt";
-    case Algorithm::kKarmarkarKarp:
-      return "karmarkar-karp";
-    case Algorithm::kCompleteGreedy:
-      return "complete-greedy";
-    case Algorithm::kFptasSubsetSum:
-      return "fptas-subset-sum";
-  }
-  return "?";
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(Algorithm::kGreedyLpt), "greedy-lpt"},
+      {static_cast<int>(Algorithm::kKarmarkarKarp), "karmarkar-karp"},
+      {static_cast<int>(Algorithm::kCompleteGreedy), "complete-greedy"},
+      {static_cast<int>(Algorithm::kFptasSubsetSum), "fptas-subset-sum"},
+  };
+  return support::EnumName(kNames, algorithm);
 }
 
 StatusOr<PartitionResult> Partition(const std::vector<double>& weights, size_t n_bins,

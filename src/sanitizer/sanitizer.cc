@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/support/enum_name.h"
+
 namespace bunshin {
 namespace san {
 namespace {
@@ -61,25 +63,17 @@ const SanitizerInfo& GetSanitizer(SanitizerId id) {
 }
 
 const char* SanitizerName(SanitizerId id) {
-  switch (id) {
-    case SanitizerId::kASan:
-      return "asan";
-    case SanitizerId::kMSan:
-      return "msan";
-    case SanitizerId::kUBSan:
-      return "ubsan";
-    case SanitizerId::kSoftBound:
-      return "softbound";
-    case SanitizerId::kCETS:
-      return "cets";
-    case SanitizerId::kCPI:
-      return "cpi";
-    case SanitizerId::kStackCookie:
-      return "stack-cookie";
-    case SanitizerId::kSafeCode:
-      return "safecode";
-  }
-  return "?";
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(SanitizerId::kASan), "asan"},
+      {static_cast<int>(SanitizerId::kMSan), "msan"},
+      {static_cast<int>(SanitizerId::kUBSan), "ubsan"},
+      {static_cast<int>(SanitizerId::kSoftBound), "softbound"},
+      {static_cast<int>(SanitizerId::kCETS), "cets"},
+      {static_cast<int>(SanitizerId::kCPI), "cpi"},
+      {static_cast<int>(SanitizerId::kStackCookie), "stack-cookie"},
+      {static_cast<int>(SanitizerId::kSafeCode), "safecode"},
+  };
+  return support::EnumName(kNames, id);
 }
 
 bool Conflicts(SanitizerId a, SanitizerId b) {

@@ -1,0 +1,34 @@
+// Shared machinery for the <Enum>Name() stringifiers scattered across the
+// libraries (LockstepModeName, SanitizerName, AlgorithmName, ...): each site
+// declares a value/name table and delegates the lookup here instead of
+// re-writing the same switch with its own fallback convention.
+#ifndef BUNSHIN_SRC_SUPPORT_ENUM_NAME_H_
+#define BUNSHIN_SRC_SUPPORT_ENUM_NAME_H_
+
+#include <cstddef>
+
+namespace bunshin {
+namespace support {
+
+// One row of an enum -> name table.
+struct EnumNameEntry {
+  int value;
+  const char* name;
+};
+
+// Linear lookup (tables are tiny); returns `fallback` for values absent from
+// the table, e.g. an enum cast from untrusted input.
+template <typename Enum, size_t N>
+const char* EnumName(const EnumNameEntry (&table)[N], Enum value, const char* fallback = "?") {
+  for (size_t i = 0; i < N; ++i) {
+    if (table[i].value == static_cast<int>(value)) {
+      return table[i].name;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace support
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SUPPORT_ENUM_NAME_H_

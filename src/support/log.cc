@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "src/support/enum_name.h"
+
 namespace bunshin {
 namespace {
 
@@ -11,17 +13,13 @@ std::atomic<LogLevel> g_level{LogLevel::kWarning};
 std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarning:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-  }
-  return "?";
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(LogLevel::kDebug), "DEBUG"},
+      {static_cast<int>(LogLevel::kInfo), "INFO"},
+      {static_cast<int>(LogLevel::kWarning), "WARN"},
+      {static_cast<int>(LogLevel::kError), "ERROR"},
+  };
+  return support::EnumName(kNames, level);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "src/support/enum_name.h"
+
 namespace bunshin {
 
 enum class StatusCode {
@@ -27,25 +29,17 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 inline const char* StatusCodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kInvalidArgument:
-      return "INVALID_ARGUMENT";
-    case StatusCode::kNotFound:
-      return "NOT_FOUND";
-    case StatusCode::kFailedPrecondition:
-      return "FAILED_PRECONDITION";
-    case StatusCode::kOutOfRange:
-      return "OUT_OF_RANGE";
-    case StatusCode::kInternal:
-      return "INTERNAL";
-    case StatusCode::kUnimplemented:
-      return "UNIMPLEMENTED";
-    case StatusCode::kAlreadyExists:
-      return "ALREADY_EXISTS";
-  }
-  return "UNKNOWN";
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(StatusCode::kOk), "OK"},
+      {static_cast<int>(StatusCode::kInvalidArgument), "INVALID_ARGUMENT"},
+      {static_cast<int>(StatusCode::kNotFound), "NOT_FOUND"},
+      {static_cast<int>(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION"},
+      {static_cast<int>(StatusCode::kOutOfRange), "OUT_OF_RANGE"},
+      {static_cast<int>(StatusCode::kInternal), "INTERNAL"},
+      {static_cast<int>(StatusCode::kUnimplemented), "UNIMPLEMENTED"},
+      {static_cast<int>(StatusCode::kAlreadyExists), "ALREADY_EXISTS"},
+  };
+  return support::EnumName(kNames, code, "UNKNOWN");
 }
 
 // A cheap value type carrying success or an error code + message.

@@ -57,7 +57,9 @@ TEST_P(EngineSweepTest, CompletesWithSaneReport) {
 
   // Overhead stays within a loose global sanity bound (< 100% for any
   // configuration in this sweep).
-  EXPECT_LT(report->OverheadVs(baseline), 1.0);
+  auto overhead = report->OverheadVs(baseline);
+  ASSERT_TRUE(overhead.ok()) << overhead.status().ToString();
+  EXPECT_LT(*overhead, 1.0);
 
   // Selective mode: the attack window is bounded by the ring.
   if (mode == nxe::LockstepMode::kSelective && n_variants > 1) {

@@ -170,7 +170,9 @@ TEST(EngineTest, OverheadGrowsWithVariantCount) {
     Engine scaled(config);
     auto report = scaled.Run(workload::BuildIdenticalVariants(bench, n, 7));
     ASSERT_TRUE(report.ok());
-    const double overhead = report->OverheadVs(baseline);
+    auto overhead_or = report->OverheadVs(baseline);
+    ASSERT_TRUE(overhead_or.ok());
+    const double overhead = *overhead_or;
     EXPECT_GT(overhead, prev_overhead) << "n=" << n;
     prev_overhead = overhead;
   }
@@ -214,7 +216,7 @@ TEST(EngineTest, MultithreadedOverheadIncludesLockOrdering) {
   ASSERT_TRUE(mt_report.ok());
   ASSERT_TRUE(st_report.ok());
   ASSERT_TRUE(mt_report->completed);
-  EXPECT_GT(mt_report->OverheadVs(mt_base), st_report->OverheadVs(st_base));
+  EXPECT_GT(*mt_report->OverheadVs(mt_base), *st_report->OverheadVs(st_base));
 }
 
 TEST(EngineTest, VariantFinishTimesTrackComputeScale) {
@@ -251,7 +253,7 @@ TEST(EngineTest, SingleCoreSerializesCompute) {
   auto report = engine.Run(variants);
   ASSERT_TRUE(report.ok());
   // Roughly doubles: two variants time-share one core (§5.7: 103.1%).
-  EXPECT_GT(report->OverheadVs(baseline), 0.8);
+  EXPECT_GT(*report->OverheadVs(baseline), 0.8);
 }
 
 TEST(CostModelTest, LlcMultiplierMonotone) {
