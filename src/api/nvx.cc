@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/api/async.h"
 #include "src/support/enum_name.h"
+#include "src/support/thread_pool.h"
 #include "src/workload/funcprofile.h"
 
 namespace bunshin {
@@ -25,21 +27,6 @@ StatusOr<double> SpecOverhead(const workload::BenchmarkSpec& bench, san::Sanitiz
       return bench.overheads.ubsan;
     default:
       return san::GetSanitizer(sanitizer).mean_overhead;
-  }
-}
-
-void NotifyVariantFinishes(const RunReport& report, const Observer& observer) {
-  if (!observer.on_variant_finish) {
-    return;
-  }
-  for (size_t v = 0; v < report.variant_finish_time.size(); ++v) {
-    observer.on_variant_finish(v, report.variant_finish_time[v]);
-  }
-}
-
-void NotifyIncident(const RunReport& report, const Observer& observer) {
-  if (report.outcome != NvxOutcome::kOk && observer.on_incident) {
-    observer.on_incident(report);
   }
 }
 
@@ -68,7 +55,7 @@ class IrBackend final : public Backend {
     return system_.sanitizer_groups().empty() ? nullptr : &system_.sanitizer_groups();
   }
 
-  StatusOr<RunReport> Run(const RunRequest& request, const Observer& observer) const override {
+  StatusOr<RunReport> Run(const RunRequest& request) const override {
     RunReport report;
     report.backend = name();
 
@@ -120,8 +107,6 @@ class IrBackend final : public Backend {
         break;
     }
 
-    NotifyVariantFinishes(report, observer);
-    NotifyIncident(report, observer);
     return report;
   }
 
@@ -142,7 +127,8 @@ class TraceBackend final : public Backend {
   TraceBackend(std::optional<workload::BenchmarkSpec> bench,
                std::optional<workload::ServerSpec> server,
                std::vector<workload::VariantSpec> variant_specs,
-               std::vector<DetectInjection> injections, nxe::EngineConfig config,
+               std::vector<DetectInjection> injections,
+               std::vector<DivergeInjection> diverge_injections, nxe::EngineConfig config,
                uint64_t seed, std::vector<std::string> labels,
                std::optional<distribution::CheckDistributionPlan> check_plan,
                std::vector<std::vector<std::string>> sanitizer_groups,
@@ -151,6 +137,7 @@ class TraceBackend final : public Backend {
         server_(std::move(server)),
         variant_specs_(std::move(variant_specs)),
         injections_(std::move(injections)),
+        diverge_injections_(std::move(diverge_injections)),
         config_(config),
         seed_(seed),
         labels_(std::move(labels)),
@@ -169,7 +156,7 @@ class TraceBackend final : public Backend {
     return sanitizer_groups_.empty() ? nullptr : &sanitizer_groups_;
   }
 
-  StatusOr<RunReport> Run(const RunRequest& request, const Observer& observer) const override {
+  StatusOr<RunReport> Run(const RunRequest& request) const override {
     const uint64_t seed = request.workload_seed.value_or(seed_);
 
     std::vector<nxe::VariantTrace> traces;
@@ -184,12 +171,36 @@ class TraceBackend final : public Backend {
       actions.insert(actions.begin() + static_cast<ptrdiff_t>(actions.size() / 2),
                      nxe::ThreadAction::Detect(injection.detector));
     }
+    for (const auto& injection : diverge_injections_) {
+      // The compromised variant tries to push a different payload through a
+      // mid-run observable syscall; the monitor must flag the mismatch.
+      auto& actions = traces[injection.variant].threads.front().actions;
+      std::vector<size_t> sites;
+      for (size_t i = 0; i < actions.size(); ++i) {
+        if (actions[i].kind == nxe::ActionKind::kSyscall &&
+            sc::IsSyncRelevant(actions[i].syscall.no)) {
+          sites.push_back(i);
+        }
+      }
+      if (sites.empty()) {
+        return FailedPrecondition("InjectDivergence(): variant " +
+                                  std::to_string(injection.variant) +
+                                  " has no sync-relevant syscall to diverge at");
+      }
+      sc::SyscallRecord& rec = actions[sites[sites.size() / 2]].syscall;
+      rec.payload_digest = sc::DigestString(injection.payload);
+      rec.args[1] = static_cast<int64_t>(injection.payload.size());
+    }
 
     nxe::Engine engine(config_);
 
     RunReport report;
     report.backend = name();
-    report.baseline_time = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed));
+    auto baseline = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed));
+    if (!baseline.ok()) {
+      return baseline.status();
+    }
+    report.baseline_time = *baseline;
     report.variant_compute_scale.reserve(traces.size());
     for (const auto& spec : variant_specs_) {
       report.variant_compute_scale.push_back(spec.compute_scale);
@@ -197,7 +208,11 @@ class TraceBackend final : public Backend {
     if (measure_standalone_) {
       report.variant_standalone_time.reserve(traces.size());
       for (const auto& trace : traces) {
-        report.variant_standalone_time.push_back(engine.RunBaseline(trace));
+        auto standalone = engine.RunBaseline(trace);
+        if (!standalone.ok()) {
+          return standalone.status();
+        }
+        report.variant_standalone_time.push_back(*standalone);
       }
     }
 
@@ -233,8 +248,6 @@ class TraceBackend final : public Backend {
       return Internal("engine run neither completed nor reported an incident");
     }
 
-    NotifyVariantFinishes(report, observer);
-    NotifyIncident(report, observer);
     return report;
   }
 
@@ -250,6 +263,7 @@ class TraceBackend final : public Backend {
   std::optional<workload::ServerSpec> server_;
   std::vector<workload::VariantSpec> variant_specs_;
   std::vector<DetectInjection> injections_;
+  std::vector<DivergeInjection> diverge_injections_;
   nxe::EngineConfig config_;
   uint64_t seed_;
   std::vector<std::string> labels_;
@@ -298,7 +312,26 @@ StatusOr<double> RunReport::Overhead() const {
 }
 
 StatusOr<RunReport> NvxSession::Run(const RunRequest& request) const {
-  return backend_->Run(request, observer_);
+  StatusOr<RunReport> report = backend_->Run(request);
+  if (report.ok()) {
+    Notify(*report);
+  }
+  return report;
+}
+
+void NvxSession::Notify(const RunReport& report) const {
+  // One lock around the whole sequence: concurrent completions (pool
+  // workers) deliver their finish/incident callbacks as uninterleaved
+  // per-run blocks, in completion order.
+  std::lock_guard<std::mutex> lock(*observer_mu_);
+  if (observer_.on_variant_finish) {
+    for (size_t v = 0; v < report.variant_finish_time.size(); ++v) {
+      observer_.on_variant_finish(v, report.variant_finish_time[v]);
+    }
+  }
+  if (report.outcome != NvxOutcome::kOk && observer_.on_incident) {
+    observer_.on_incident(report);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +380,14 @@ NvxBuilder& NvxBuilder::InjectDetection(size_t variant, std::string detector) {
   detect_injections_.push_back({variant, std::move(detector)});
   return *this;
 }
+NvxBuilder& NvxBuilder::InjectDivergence(size_t variant, std::string payload) {
+  diverge_injections_.push_back({variant, std::move(payload)});
+  return *this;
+}
+NvxBuilder& NvxBuilder::Async(size_t n_workers) {
+  async_workers_ = n_workers;
+  return *this;
+}
 NvxBuilder& NvxBuilder::Lockstep(nxe::LockstepMode mode) {
   engine_config_.mode = mode;
   return *this;
@@ -388,7 +429,7 @@ NvxBuilder& NvxBuilder::SetObserver(Observer observer) {
   return *this;
 }
 
-StatusOr<NvxSession> NvxBuilder::Build() const {
+StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend() const {
   const int targets = (module_ != nullptr ? 1 : 0) + (benchmark_.has_value() ? 1 : 0) +
                       (server_.has_value() ? 1 : 0);
   if (targets == 0) {
@@ -404,10 +445,20 @@ StatusOr<NvxSession> NvxBuilder::Build() const {
     return InvalidArgument("DistributeSanitizers() requires at least one sanitizer");
   }
 
-  StatusOr<std::unique_ptr<Backend>> backend =
-      module_ != nullptr ? BuildIrBackend() : BuildTraceBackend();
+  return module_ != nullptr ? BuildIrBackend() : BuildTraceBackend();
+}
+
+StatusOr<NvxSession> NvxBuilder::Build() const {
+  StatusOr<std::unique_ptr<Backend>> backend = BuildBackend();
   if (!backend.ok()) {
     return backend.status();
+  }
+
+  if (async_workers_.has_value()) {
+    // Transparent offload: the session behaves synchronously but every Run()
+    // executes on a pool worker. For Submit()-style use, see BuildAsync().
+    backend = std::unique_ptr<Backend>(new AsyncBackend(
+        std::move(*backend), std::make_shared<support::ThreadPool>(*async_workers_)));
   }
 
   NvxSession session(std::move(*backend));
@@ -415,10 +466,31 @@ StatusOr<NvxSession> NvxBuilder::Build() const {
   return session;
 }
 
+StatusOr<AsyncNvxSession> NvxBuilder::BuildAsync(
+    std::shared_ptr<support::ThreadPool> pool) const {
+  // Note: the raw backend, never AsyncBackend — a Submit()ed run must not
+  // re-submit itself to the same pool it is already executing on.
+  StatusOr<std::unique_ptr<Backend>> backend = BuildBackend();
+  if (!backend.ok()) {
+    return backend.status();
+  }
+  if (pool == nullptr) {
+    pool = std::make_shared<support::ThreadPool>(async_workers_.value_or(0));
+  }
+
+  NvxSession session(std::move(*backend));
+  session.SetObserver(observer_);
+  return AsyncNvxSession(std::move(session), std::move(pool));
+}
+
 StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend() const {
   if (!detect_injections_.empty()) {
     return InvalidArgument(
         "InjectDetection() needs a trace target; IR detections come from the program itself");
+  }
+  if (!diverge_injections_.empty()) {
+    return InvalidArgument(
+        "InjectDivergence() needs a trace target; IR divergence comes from the program itself");
   }
 
   core::Options options;
@@ -600,11 +672,18 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildTraceBackend() const {
                              std::to_string(specs.size()) + " variants)");
     }
   }
+  for (const auto& injection : diverge_injections_) {
+    if (injection.variant >= specs.size()) {
+      return InvalidArgument("InjectDivergence() variant index " +
+                             std::to_string(injection.variant) + " out of range (have " +
+                             std::to_string(specs.size()) + " variants)");
+    }
+  }
 
   return std::unique_ptr<Backend>(new TraceBackend(
-      benchmark_, server_, std::move(specs), detect_injections_, config, seed_,
-      std::move(labels), std::move(check_plan), std::move(sanitizer_groups),
-      measure_standalone_));
+      benchmark_, server_, std::move(specs), detect_injections_, diverge_injections_,
+      config, seed_, std::move(labels), std::move(check_plan),
+      std::move(sanitizer_groups), measure_standalone_));
 }
 
 }  // namespace api

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,7 +46,13 @@
 #include "src/workload/workload.h"
 
 namespace bunshin {
+namespace support {
+class ThreadPool;
+}  // namespace support
+
 namespace api {
+
+class AsyncNvxSession;
 
 // ---------------------------------------------------------------------------
 // RunReport: the one result type every backend produces.
@@ -113,7 +120,12 @@ struct RunReport {
 
 // ---------------------------------------------------------------------------
 // Observer hooks. The session guarantees the order: on_variant_finish for
-// each variant in index order, then on_incident at most once.
+// each variant in index order, then on_incident at most once. When runs of
+// one session complete concurrently (async backend / pool workers), the
+// session serializes notification so one run's callback sequence is never
+// interleaved with another's. That serialization means callbacks run under
+// the session's delivery lock: they must not call back into the same
+// session (Run(), SetObserver()) — record and return.
 // ---------------------------------------------------------------------------
 
 struct Observer {
@@ -130,6 +142,14 @@ struct Observer {
 struct DetectInjection {
   size_t variant = 0;
   std::string detector;
+};
+
+// One spliced divergence (attack scenarios / tests): the compromised variant
+// emits a different payload through a mid-run sync-relevant syscall, which
+// the monitor flags as an observable-behavior divergence.
+struct DivergeInjection {
+  size_t variant = 0;
+  std::string payload;
 };
 
 // One execution request. The IR backend interprets `entry`/`args`; the trace
@@ -157,7 +177,11 @@ class Backend {
   // Human-readable description of what each variant carries.
   virtual const std::vector<std::string>& variant_labels() const = 0;
 
-  virtual StatusOr<RunReport> Run(const RunRequest& request, const Observer& observer) const = 0;
+  // Produces the report only; observer notification is the session's job
+  // (centralized in NvxSession so it stays correctly sequenced when many
+  // runs complete concurrently). Must be safe to call from several threads
+  // at once — backends keep all per-run state on the stack.
+  virtual StatusOr<RunReport> Run(const RunRequest& request) const = 0;
 
   // Introspection; null when the backend has no such plan.
   virtual const distribution::CheckDistributionPlan* check_plan() const { return nullptr; }
@@ -172,14 +196,21 @@ class Backend {
 
 class NvxSession {
  public:
-  explicit NvxSession(std::unique_ptr<Backend> backend) : backend_(std::move(backend)) {}
+  explicit NvxSession(std::unique_ptr<Backend> backend)
+      : backend_(std::move(backend)), observer_mu_(std::make_unique<std::mutex>()) {}
 
   NvxSession(NvxSession&&) = default;
   NvxSession& operator=(NvxSession&&) = default;
 
+  // Re-entrant: concurrent Run() calls are safe; observer callbacks for one
+  // run are delivered as one uninterleaved sequence (finishes in variant
+  // order, then at most one incident).
   StatusOr<RunReport> Run(const RunRequest& request = {}) const;
 
-  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+  void SetObserver(Observer observer) {
+    std::lock_guard<std::mutex> lock(*observer_mu_);
+    observer_ = std::move(observer);
+  }
 
   const char* backend_name() const { return backend_->name(); }
   size_t n_variants() const { return backend_->n_variants(); }
@@ -192,8 +223,13 @@ class NvxSession {
   }
 
  private:
+  void Notify(const RunReport& report) const;
+
   std::unique_ptr<Backend> backend_;
   Observer observer_;
+  // Serializes observer delivery across concurrently completing runs (held
+  // by pointer so the session stays movable).
+  std::unique_ptr<std::mutex> observer_mu_;
 };
 
 // ---------------------------------------------------------------------------
@@ -230,6 +266,13 @@ class NvxBuilder {
   // Splice a firing sanitizer check into one variant's trace (attack
   // scenarios / tests). Trace targets only.
   NvxBuilder& InjectDetection(size_t variant, std::string detector);
+  // Splice a divergent payload into one of `variant`'s mid-run sync-relevant
+  // syscalls (a compromised variant trying to exfiltrate different output).
+  // Trace targets only. Attribution in the report is leader-relative — the
+  // monitor only sees that records disagree, so tampering with variant 0
+  // (the leader) surfaces as a divergence blamed on a follower, with
+  // expected/actual from the leader's point of view.
+  NvxBuilder& InjectDivergence(size_t variant, std::string payload);
 
   // --- Engine / execution knobs --------------------------------------------
   NvxBuilder& Lockstep(nxe::LockstepMode mode);
@@ -245,14 +288,27 @@ class NvxBuilder {
   NvxBuilder& MeasureStandalone(bool measure = true);
   NvxBuilder& InterpreterFuel(uint64_t fuel);
   NvxBuilder& SetObserver(Observer observer);
+  // Run sessions on a pool of n_workers threads (0 = hardware concurrency).
+  // Build() then returns a session whose Run() executes on a worker, and
+  // BuildAsync() sizes the session's own pool with it.
+  NvxBuilder& Async(size_t n_workers);
 
   // Validates the configuration and constructs the session (and its
   // variants); all configuration errors surface here, not at Run() time.
   StatusOr<NvxSession> Build() const;
 
+  // Async variant of Build(): a session exposing Submit() -> RunHandle plus
+  // completion-queue delivery (src/api/async.h). Pass a shared pool to run
+  // many sessions' work on one set of workers; with no pool the session
+  // creates its own, sized by Async(n).
+  StatusOr<AsyncNvxSession> BuildAsync(
+      std::shared_ptr<support::ThreadPool> pool = nullptr) const;
+
  private:
   StatusOr<std::unique_ptr<Backend>> BuildIrBackend() const;
   StatusOr<std::unique_ptr<Backend>> BuildTraceBackend() const;
+  // Validation + backend construction shared by Build()/BuildAsync().
+  StatusOr<std::unique_ptr<Backend>> BuildBackend() const;
 
   const ir::Module* module_ = nullptr;
   std::optional<workload::BenchmarkSpec> benchmark_;
@@ -265,12 +321,14 @@ class NvxBuilder {
   std::vector<profile::WorkloadRun> profiling_workload_;
   partition::PartitionOptions partition_options_;
   std::vector<DetectInjection> detect_injections_;
+  std::vector<DivergeInjection> diverge_injections_;
 
   nxe::EngineConfig engine_config_;
   std::optional<double> cache_sensitivity_;
   bool measure_standalone_ = false;
   uint64_t seed_ = 42;
   uint64_t interpreter_fuel_ = 50'000'000;
+  std::optional<size_t> async_workers_;  // set by Async(); 0 = hw concurrency
   Observer observer_;
 };
 

@@ -83,20 +83,22 @@ struct VariantState {
 
 }  // namespace
 
-double Engine::RunBaseline(const VariantTrace& trace) const {
+StatusOr<double> Engine::RunBaseline(const VariantTrace& trace) const {
   const CostModel& cm = config_.cost;
   const size_t n_threads = trace.threads.size();
   const double serial = cm.SerializationMultiplier(1, n_threads);
   std::vector<double> clock(n_threads, 0.0);
   std::vector<size_t> cursor(n_threads, 0);
   std::vector<bool> done(n_threads, n_threads == 0);
+  bool aborted = false;   // a sanitizer check fired: the whole process dies
+  double abort_time = 0.0;  // the detecting thread's clock at the check
 
   // Advance all threads, meeting at barriers. Barriers appear in the same
   // order in every thread that participates (workload invariant).
   for (;;) {
     bool any_alive = false;
     std::vector<size_t> at_barrier;
-    for (size_t t = 0; t < n_threads; ++t) {
+    for (size_t t = 0; t < n_threads && !aborted; ++t) {
       if (done[t]) {
         continue;
       }
@@ -119,7 +121,10 @@ double Engine::RunBaseline(const VariantTrace& trace) const {
             clock[t] += cm.lock_primitive;
             break;
           case ActionKind::kDetect:
-            // Baseline of an instrumented binary: the sanitizer aborts here.
+            // Baseline of an instrumented binary: the sanitizer report
+            // aborts the whole process here, not just this thread.
+            aborted = true;
+            abort_time = clock[t];
             done[t] = true;
             break;
           case ActionKind::kExit:
@@ -137,11 +142,22 @@ double Engine::RunBaseline(const VariantTrace& trace) const {
         done[t] = true;
       }
     }
-    if (!any_alive) {
+    if (aborted) {
+      // Time-to-abort is the detecting thread's clock: whatever other
+      // threads simulated past that instant died with the process.
+      return abort_time;
+    }
+    if (!any_alive || at_barrier.empty()) {
       break;
     }
-    if (at_barrier.empty()) {
-      break;
+    // Every thread not parked at the barrier has exited. All threads
+    // participate in every barrier (workload invariant), so a partial
+    // participant set means some thread skipped this barrier: malformed
+    // trace, the same verdict Run() reaches.
+    if (at_barrier.size() < n_threads) {
+      return InvalidArgument(
+          "malformed trace: " + std::to_string(n_threads - at_barrier.size()) +
+          " thread(s) exited before a barrier the others are waiting at");
     }
     double barrier_time = 0.0;
     for (size_t t : at_barrier) {
@@ -171,6 +187,9 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
     if (v.threads.size() != n_threads) {
       return InvalidArgument("variant thread counts differ");
     }
+  }
+  if (config_.mode == LockstepMode::kSelective && config_.ring_capacity == 0) {
+    return InvalidArgument("selective lockstep requires ring_capacity >= 1");
   }
 
   const CostModel& cm = config_.cost;
@@ -367,12 +386,16 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
         ++ts.stream_pos;
         ++ts.cursor;
         ts.park = Park::kNone;
+        if (v > 0) {
+          // Keep the published stream consistent for later selective
+          // consumers. A follower frees the slot when it has actually
+          // fetched the result (done_time + result_fetch + wakeup), not
+          // when the leader's kernel work finished — the gap metric and
+          // ring free times depend on the real per-follower clock.
+          consume_time[v][t].push_back(ts.clock);
+        }
       }
-      // Keep the published stream consistent for later selective consumers.
       published[t].push_back({leader_rec, done_time});
-      for (size_t v = 1; v < n_variants; ++v) {
-        consume_time[v][t].push_back(done_time);
-      }
       ++report.synced_syscalls;
       ++report.lockstep_barriers;
       progressed = true;
@@ -392,33 +415,31 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
         if (sc::IsIoWriteRelated(rec.no)) {
           continue;  // must go through the lockstep path
         }
-        // Ring full? The leader stalls until the slowest follower frees the
-        // slot (published - consumed >= capacity).
+        // Ring back-pressure: publishing entry pub_count reuses the slot of
+        // entry pub_count - capacity, so the leader stalls until the slowest
+        // follower has fetched that entry. If a follower has not fetched it
+        // yet we cannot know the free time — skip and retry once it has.
         const size_t pub_count = published[t].size();
         double free_time = 0.0;
-        bool full = false;
-        for (size_t v = 1; v < n_variants; ++v) {
-          const size_t consumed = consume_time[v][t].size();
-          if (pub_count - consumed >= config_.ring_capacity) {
-            full = true;
-            // The slot is freed when the follower consumes entry
-            // pub_count - capacity.
-            const size_t idx = pub_count - config_.ring_capacity;
-            if (idx < consume_time[v][t].size()) {
-              free_time = std::max(free_time, consume_time[v][t][idx]);
-            } else {
-              free_time = -1.0;  // follower has not reached it yet
+        if (pub_count >= config_.ring_capacity) {
+          const size_t idx = pub_count - config_.ring_capacity;
+          bool slot_freed = true;
+          for (size_t v = 1; v < n_variants; ++v) {
+            if (idx >= consume_time[v][t].size()) {
+              slot_freed = false;  // follower has not reached it yet
               break;
             }
+            free_time = std::max(free_time, consume_time[v][t][idx]);
+          }
+          if (!slot_freed) {
+            continue;  // follower must make progress first
           }
         }
-        if (full && free_time < 0.0) {
-          continue;  // follower must make progress first
-        }
         const double arrival = ts.clock + cm.trap_hook;
+        const bool stalled = arrival + 1e-12 < free_time;
         const double start = std::max(arrival, free_time) + cm.sync_slot;
         const double avail = start + cm.kernel_syscall;
-        ts.clock = avail + cm.sync_slot + (full ? cm.WakeupCost() : 0.0);
+        ts.clock = avail + cm.sync_slot + (stalled ? cm.WakeupCost() : 0.0);
         published[t].push_back({rec, avail});
         ++ts.stream_pos;
         ++ts.cursor;
@@ -480,12 +501,18 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
           possible = false;  // someone is still on the way (or blocked)
         }
       }
-      if (!possible || waiting.size() < 2 || waiting.empty()) {
-        // Require at least the full set of live threads; a single parked
-        // thread with others blocked elsewhere waits.
-        if (!(possible && waiting.size() == 1)) {
-          continue;
-        }
+      if (!possible || waiting.empty()) {
+        continue;  // someone is still on the way to the barrier
+      }
+      // Every live thread of the variant is parked at the barrier. All
+      // threads participate in every barrier (workload invariant), so a
+      // thread that already exited skipped this one: malformed trace, the
+      // same verdict RunBaseline reaches.
+      if (waiting.size() < n_threads) {
+        return InvalidArgument(
+            "malformed trace: variant " + std::to_string(v) + ": " +
+            std::to_string(n_threads - waiting.size()) +
+            " thread(s) exited before a barrier the others are waiting at");
       }
       double release = 0.0;
       for (size_t t : waiting) {

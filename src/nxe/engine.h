@@ -137,8 +137,11 @@ class Engine {
   StatusOr<SyncReport> Run(const std::vector<VariantTrace>& variants) const;
 
   // Runs a single trace without any engine machinery: the reference time the
-  // overhead figures are computed against.
-  double RunBaseline(const VariantTrace& trace) const;
+  // overhead figures are computed against. A firing sanitizer check aborts
+  // the whole standalone run (time-to-abort is returned); a barrier some
+  // threads exited before reaching is a malformed trace and errors, exactly
+  // as Run() reports it.
+  StatusOr<double> RunBaseline(const VariantTrace& trace) const;
 
  private:
   EngineConfig config_;

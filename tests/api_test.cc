@@ -96,6 +96,44 @@ TEST(NvxBuilderTest, InjectDetectionVariantOutOfRangeFails) {
   EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(NvxBuilderTest, InjectDivergenceRejectedOnModuleTarget) {
+  auto module = testutil::BuildBufferProgram();
+  auto session = NvxBuilder()
+                     .Module(*module)
+                     .Variants(2)
+                     .DistributeSanitizers({san::SanitizerId::kASan})
+                     .InjectDivergence(0, "payload")
+                     .Build();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NvxBuilderTest, InjectDivergenceVariantOutOfRangeFails) {
+  auto session = NvxBuilder()
+                     .Benchmark(workload::Spec2006()[0])
+                     .Variants(2)
+                     .InjectDivergence(3, "payload")
+                     .Build();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NvxSessionTest, InjectDivergenceReportsDivergedVariant) {
+  auto session = NvxBuilder()
+                     .Benchmark(workload::Spec2006()[0])
+                     .Variants(3)
+                     .InjectDivergence(2, "leaked-secret")
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, NvxOutcome::kDiverged);
+  ASSERT_TRUE(report->divergence.has_value());
+  EXPECT_EQ(report->divergence->variant, 2u);
+  EXPECT_NE(report->divergence->expected, report->divergence->actual);
+  EXPECT_TRUE(report->aborted_all);
+}
+
 // ---------------------------------------------------------------------------
 // Backend equivalence: the same detection scenario — an out-of-bounds access
 // caught by a distributed ASan check — must surface as the same NvxOutcome

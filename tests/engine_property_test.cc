@@ -26,7 +26,9 @@ TEST_P(EngineSweepTest, CompletesWithSaneReport) {
   nxe::Engine engine(config);
 
   auto variants = workload::BuildIdenticalVariants(*spec, n_variants, 99);
-  const double baseline = engine.RunBaseline(variants[0]);
+  auto baseline_or = engine.RunBaseline(variants[0]);
+  ASSERT_TRUE(baseline_or.ok()) << baseline_or.status().ToString();
+  const double baseline = *baseline_or;
   auto report = engine.Run(variants);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 

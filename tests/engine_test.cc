@@ -161,7 +161,7 @@ TEST(EngineTest, SelectiveFasterThanStrict) {
 TEST(EngineTest, OverheadGrowsWithVariantCount) {
   const auto& bench = workload::Spec2006()[1];  // bzip2
   Engine engine(EngineConfig{});
-  const double baseline = engine.RunBaseline(workload::BuildIdenticalVariants(bench, 1, 7)[0]);
+  const double baseline = *engine.RunBaseline(workload::BuildIdenticalVariants(bench, 1, 7)[0]);
   double prev_overhead = -1.0;
   for (size_t n : {2, 4, 8}) {
     EngineConfig config;
@@ -209,8 +209,8 @@ TEST(EngineTest, MultithreadedOverheadIncludesLockOrdering) {
   Engine engine(EngineConfig{});
   auto mt_variants = workload::BuildIdenticalVariants(mt, 3, 5);
   auto st_variants = workload::BuildIdenticalVariants(st, 3, 5);
-  const double mt_base = engine.RunBaseline(mt_variants[0]);
-  const double st_base = engine.RunBaseline(st_variants[0]);
+  const double mt_base = *engine.RunBaseline(mt_variants[0]);
+  const double st_base = *engine.RunBaseline(st_variants[0]);
   auto mt_report = engine.Run(mt_variants);
   auto st_report = engine.Run(st_variants);
   ASSERT_TRUE(mt_report.ok());
@@ -249,11 +249,172 @@ TEST(EngineTest, SingleCoreSerializesCompute) {
   EngineConfig config;
   config.cost.cores = 1;
   Engine engine(config);
-  const double baseline = engine.RunBaseline(variants[0]);
+  const double baseline = *engine.RunBaseline(variants[0]);
   auto report = engine.Run(variants);
   ASSERT_TRUE(report.ok());
   // Roughly doubles: two variants time-share one core (§5.7: 103.1%).
   EXPECT_GT(*report->OverheadVs(baseline), 0.8);
+}
+
+TEST(EngineTest, LockstepConsumeTimesUseFollowerFetchClock) {
+  // Regression: in the strict/IO lockstep path the follower's consume time
+  // was recorded as the leader's done_time instead of the follower's actual
+  // post-fetch clock (done_time + result_fetch + wakeup). In a selective run
+  // that mixes IO-write lockstep syscalls, that skewed both the §5.3 gap
+  // metric and the ring free time the next publish stalls on.
+  EngineConfig config;
+  config.mode = LockstepMode::kSelective;
+  config.ring_capacity = 1;
+  config.cost.wait_wakeup = 10.0;  // make the follower's wakeup clearly visible
+  const nxe::CostModel& cm = config.cost;
+
+  // Leader (scale 2) arrives last at the write, so the follower sleeps there
+  // and fetches the result only at done_time + result_fetch + wakeup. The
+  // leader's next (ring) syscall reuses the only slot and must stall until
+  // that real fetch time.
+  const std::vector<ThreadAction> actions = {
+      ThreadAction::Compute(100), ThreadAction::Syscall(MakeWrite("w")),
+      ThreadAction::Compute(0.1), ThreadAction::Syscall(MakeRead())};
+  std::vector<VariantTrace> variants = {SimpleVariant("leader", 2.0, actions),
+                                        SimpleVariant("follower", 1.0, actions)};
+  Engine engine(config);
+  auto report = engine.Run(variants);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->completed);
+
+  const double factor = cm.LlcMultiplier(2, config.cache_sensitivity);
+  const double leader_arrival = 2.0 * 100 * factor + cm.trap_hook;
+  const double done_time = leader_arrival + cm.sync_slot + cm.kernel_syscall;
+  const double follower_fetch = done_time + cm.result_fetch + cm.WakeupCost();
+  // The leader's ring publish stalls until the follower's real fetch time —
+  // with the bug it restarted at done_time and finished well before this.
+  EXPECT_GT(report->variant_finish_time[0], follower_fetch);
+  const double expected_leader_finish =
+      follower_fetch + cm.sync_slot + cm.kernel_syscall + cm.sync_slot + cm.WakeupCost();
+  EXPECT_NEAR(report->variant_finish_time[0], expected_leader_finish, 1e-9);
+  // At each publish instant the follower has not yet fetched that slot:
+  // gap 1 at both syscalls. The bug counted the lockstep slot as already
+  // consumed at its own publish time (gap 0 there, avg 0.5).
+  EXPECT_NEAR(report->avg_syscall_gap, 1.0, 1e-9);
+}
+
+TEST(EngineTest, MalformedBarrierTraceConsistentAcrossRunAndBaseline) {
+  // Thread 1 exits without ever reaching the barrier thread 0 waits at. Both
+  // entry points must call this out as a malformed trace rather than
+  // releasing a partial barrier (RunBaseline) or deadlocking (Run).
+  VariantTrace trace;
+  trace.name = "partial-barrier";
+  trace.threads.resize(2);
+  trace.threads[0].actions = {ThreadAction::Compute(10), ThreadAction::Barrier(0),
+                              ThreadAction::Exit()};
+  trace.threads[1].actions = {ThreadAction::Compute(5), ThreadAction::Exit()};
+
+  Engine engine(EngineConfig{});
+  auto baseline = engine.RunBaseline(trace);
+  ASSERT_FALSE(baseline.ok());
+  EXPECT_EQ(baseline.status().code(), StatusCode::kInvalidArgument);
+
+  auto report = engine.Run({trace, trace});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ThreadMayExitAfterItsLastBarrier) {
+  // Exiting is fine as long as no barrier is skipped: thread 1 finishes right
+  // after the shared barrier while thread 0 keeps running and syncing.
+  VariantTrace trace;
+  trace.name = "early-exit";
+  trace.threads.resize(2);
+  trace.threads[0].actions = {ThreadAction::Barrier(0), ThreadAction::Compute(50),
+                              ThreadAction::Syscall(MakeWrite("tail")), ThreadAction::Exit()};
+  trace.threads[1].actions = {ThreadAction::Barrier(0), ThreadAction::Exit()};
+
+  Engine engine(EngineConfig{});
+  auto baseline = engine.RunBaseline(trace);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_GT(*baseline, 0.0);
+  auto report = engine.Run({trace, trace});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->completed);
+}
+
+TEST(EngineTest, BaselineDetectAbortsWholeProcess) {
+  // A firing check kills the standalone process: time-to-abort is the
+  // detecting thread's clock, whichever thread index carries the check; the
+  // other thread's remaining work (and its pending barrier) never happens
+  // and must not be billed or flagged as malformed.
+  for (const size_t detect_thread : {0u, 1u}) {
+    VariantTrace trace;
+    trace.name = "standalone-detect";
+    trace.threads.resize(2);
+    trace.threads[detect_thread].actions = {ThreadAction::Compute(10),
+                                            ThreadAction::Detect("__asan_report_store")};
+    trace.threads[1 - detect_thread].actions = {
+        ThreadAction::Compute(1000), ThreadAction::Barrier(0), ThreadAction::Exit()};
+    Engine engine(EngineConfig{});
+    auto baseline = engine.RunBaseline(trace);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    EXPECT_DOUBLE_EQ(*baseline, 10.0) << "detect in thread " << detect_thread;
+  }
+}
+
+TEST(EngineTest, TinyRingThrottlesLeaderToFollowerPace) {
+  // ring_capacity back-pressure: with a slow follower and a tiny ring the
+  // leader stalls on each slot's free time and is held to the follower's
+  // pace; with a ring larger than the stream it runs ahead unthrottled.
+  std::vector<ThreadAction> actions;
+  for (int i = 0; i < 20; ++i) {
+    actions.push_back(ThreadAction::Compute(10));
+    actions.push_back(ThreadAction::Syscall(MakeRead()));
+  }
+  std::vector<VariantTrace> variants = {SimpleVariant("leader", 1.0, actions),
+                                        SimpleVariant("slow-follower", 4.0, actions)};
+
+  EngineConfig small;
+  small.mode = LockstepMode::kSelective;
+  small.ring_capacity = 2;
+  EngineConfig big = small;
+  big.ring_capacity = 64;
+
+  auto small_report = Engine(small).Run(variants);
+  auto big_report = Engine(big).Run(variants);
+  ASSERT_TRUE(small_report.ok()) << small_report.status().ToString();
+  ASSERT_TRUE(big_report.ok()) << big_report.status().ToString();
+  EXPECT_TRUE(small_report->completed);
+  EXPECT_TRUE(big_report->completed);
+
+  // The ring bounds the attack window exactly; the big ring lets it grow.
+  EXPECT_EQ(small_report->max_syscall_gap, 2u);
+  EXPECT_GT(big_report->max_syscall_gap, 2u);
+  EXPECT_LE(big_report->max_syscall_gap, big.ring_capacity);
+
+  // free_time bookkeeping: the throttled leader finishes near the follower,
+  // the unthrottled one far ahead of it.
+  const double small_leader = small_report->variant_finish_time[0];
+  const double small_follower = small_report->variant_finish_time[1];
+  const double big_leader = big_report->variant_finish_time[0];
+  const double big_follower = big_report->variant_finish_time[1];
+  EXPECT_GT(small_leader, 1.5 * big_leader);
+  EXPECT_GT(small_leader, 0.8 * small_follower);
+  EXPECT_LT(big_leader, 0.5 * big_follower);
+  // Back-pressure delays the leader, never the total (the follower is the
+  // critical path in both runs).
+  EXPECT_NEAR(small_follower, big_follower, 0.05 * big_follower);
+}
+
+TEST(EngineTest, SelectiveModeRejectsZeroRingCapacity) {
+  const std::vector<ThreadAction> actions = {ThreadAction::Syscall(MakeRead())};
+  std::vector<VariantTrace> variants = {SimpleVariant("a", 1.0, actions),
+                                        SimpleVariant("b", 1.0, actions)};
+  EngineConfig config;
+  config.mode = LockstepMode::kSelective;
+  config.ring_capacity = 0;
+  auto report = Engine(config).Run(variants);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+
+  config.mode = LockstepMode::kStrict;  // strict mode never touches the ring
+  EXPECT_TRUE(Engine(config).Run(variants).ok());
 }
 
 TEST(CostModelTest, LlcMultiplierMonotone) {
