@@ -1,0 +1,113 @@
+// Shard scaling on the engine hot path: sessions/sec and per-variant
+// overhead vs shard count at n_variants in {2, 4, 8, 16}.
+//
+// Sharding does not change what a session computes (see tests/shard_test.cc)
+// — it changes who computes it: each engine instance simulates only its
+// shard's traces, and the shards run concurrently on the session pool. On a
+// multi-core host the sharded wall-clock at n_variants = 8 should be at or
+// below the unsharded one; a 1-core host (CI) shows ~1.0x or a small
+// regression (the leader-replica redundancy with no parallelism to pay for
+// it). The virtual overhead column is the merged report's Overhead() —
+// nearly flat across shard counts (a shard's leader replica stalls slightly
+// less behind a smaller follower set in selective mode), which is the
+// point: sharding is a wall-clock optimization, not a semantics change.
+//
+// This bench is also the workload that surfaced the Engine::Run per-event
+// vector growth fixed in src/nxe/engine.cc (per-action bookkeeping is now
+// reserved up front from one pass over the leader trace).
+//
+//   $ ./build/bench/micro_shard_scaling
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/api/nvx.h"
+
+using namespace bunshin;
+
+namespace {
+
+struct Sample {
+  double seconds = -1.0;
+  double overhead = 0.0;  // virtual, from the (merged) report
+};
+
+// Wall-clock seconds and virtual overhead for `runs` sessions of `n`
+// check-distributed variants split across `shards` engine shards
+// (shards == 0 builds the unsharded session).
+Sample TimeConfig(const workload::BenchmarkSpec& bench, size_t n, size_t shards, size_t runs) {
+  api::NvxBuilder builder;
+  builder.Benchmark(bench)
+      .Variants(n)
+      .DistributeChecks(san::SanitizerId::kASan)
+      .Lockstep(nxe::LockstepMode::kSelective)
+      .Seed(2027);
+  if (shards > 0) {
+    builder.Shards(shards);
+  }
+  auto session = builder.Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "setup failed (n=%zu, shards=%zu): %s\n", n, shards,
+                 session.status().ToString().c_str());
+    return {};
+  }
+
+  Sample sample;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < runs; ++i) {
+    api::RunRequest request;
+    request.workload_seed = 1 + i;
+    auto report = session->Run(request);
+    if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
+      std::fprintf(stderr, "run failed (n=%zu, shards=%zu)\n", n, shards);
+      return {};
+    }
+    auto overhead = report->Overhead();
+    sample.overhead = overhead.ok() ? *overhead : -1.0;
+  }
+  sample.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Shard scaling (sessions/sec, per-variant overhead vs shard count)",
+                     "variant sharding (ROADMAP); no paper figure");
+
+  const workload::BenchmarkSpec& bench = workload::Spec2006()[0];  // perlbench
+  constexpr size_t kRuns = 24;
+  std::printf("benchmark %s, ASan check distribution, selective lockstep, %zu runs/row\n",
+              bench.name.c_str(), kRuns);
+  std::printf("host cores: %u (sharded speedup needs >1; virtual overhead is core-count"
+              " independent)\n\n",
+              std::thread::hardware_concurrency());
+
+  std::printf("%-10s %-8s %12s %14s %10s %12s\n", "variants", "shards", "wall (s)",
+              "sessions/sec", "speedup", "overhead");
+  for (size_t n : {2u, 4u, 8u, 16u}) {
+    double base_rate = 0.0;
+    for (size_t shards : {0u, 2u, 4u}) {
+      if (shards > 0 && shards >= n) {
+        continue;  // fewer followers than shard groups: nothing left to split
+      }
+      const Sample sample = TimeConfig(bench, n, shards, kRuns);
+      if (sample.seconds < 0.0) {
+        return 1;
+      }
+      const double rate = static_cast<double>(kRuns) / sample.seconds;
+      if (shards == 0) {
+        base_rate = rate;
+      }
+      char label[16];
+      std::snprintf(label, sizeof(label), shards == 0 ? "-" : "%zu", shards);
+      std::printf("%-10zu %-8s %12.3f %14.1f %9.2fx %11.1f%%\n", n, label, sample.seconds,
+                  rate, rate / base_rate, sample.overhead * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("speedup is vs the unsharded session at the same n_variants.\n");
+  return 0;
+}

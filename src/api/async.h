@@ -67,6 +67,10 @@ class AsyncBackend final : public Backend {
   const std::vector<std::vector<std::string>>* sanitizer_groups() const override {
     return inner_->sanitizer_groups();
   }
+  // Shard seam forwards too: wrapping a shard in Async must not change what
+  // its partial reports cover.
+  std::vector<size_t> shard_coverage() const override { return inner_->shard_coverage(); }
+  bool owns_baseline() const override { return inner_->owns_baseline(); }
 
   StatusOr<RunReport> Run(const RunRequest& request) const override;
 

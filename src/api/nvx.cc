@@ -1,9 +1,11 @@
 #include "src/api/nvx.h"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "src/api/async.h"
+#include "src/api/shard.h"
 #include "src/support/enum_name.h"
 #include "src/support/thread_pool.h"
 #include "src/workload/funcprofile.h"
@@ -120,61 +122,67 @@ class IrBackend final : public Backend {
 
 // ---------------------------------------------------------------------------
 // TraceBackend: calibrated VariantTraces replayed under the NXE.
+//
+// Executes any subset of a shared VariantPlan's variants: `members` lists
+// the global slots this instance runs, and slot 0 is always the leader
+// (every shard replicates it — synchronization needs one). A whole-session
+// backend is just the shard whose members are the identity mapping. Reports
+// are shard-local; RunPartial()/RunReport::Merge do the global remapping.
 // ---------------------------------------------------------------------------
 
 class TraceBackend final : public Backend {
  public:
-  TraceBackend(std::optional<workload::BenchmarkSpec> bench,
-               std::optional<workload::ServerSpec> server,
-               std::vector<workload::VariantSpec> variant_specs,
-               std::vector<DetectInjection> injections,
-               std::vector<DivergeInjection> diverge_injections, nxe::EngineConfig config,
-               uint64_t seed, std::vector<std::string> labels,
-               std::optional<distribution::CheckDistributionPlan> check_plan,
-               std::vector<std::vector<std::string>> sanitizer_groups,
-               bool measure_standalone)
-      : bench_(std::move(bench)),
-        server_(std::move(server)),
-        variant_specs_(std::move(variant_specs)),
-        injections_(std::move(injections)),
-        diverge_injections_(std::move(diverge_injections)),
-        config_(config),
-        seed_(seed),
-        labels_(std::move(labels)),
-        check_plan_(std::move(check_plan)),
-        sanitizer_groups_(std::move(sanitizer_groups)),
-        measure_standalone_(measure_standalone) {}
+  TraceBackend(std::shared_ptr<const VariantPlan> plan, std::vector<size_t> members,
+               bool owns_baseline)
+      : plan_(std::move(plan)), members_(std::move(members)), owns_baseline_(owns_baseline) {
+    labels_.reserve(members_.size());
+    for (size_t global : members_) {
+      labels_.push_back(plan_->labels[global]);
+    }
+  }
 
   const char* name() const override { return "trace"; }
-  size_t n_variants() const override { return variant_specs_.size(); }
+  size_t n_variants() const override { return members_.size(); }
   const std::vector<std::string>& variant_labels() const override { return labels_; }
 
+  std::vector<size_t> shard_coverage() const override { return members_; }
+  bool owns_baseline() const override { return owns_baseline_; }
+
   const distribution::CheckDistributionPlan* check_plan() const override {
-    return check_plan_.has_value() ? &*check_plan_ : nullptr;
+    return plan_->check_plan.has_value() ? &*plan_->check_plan : nullptr;
   }
   const std::vector<std::vector<std::string>>* sanitizer_groups() const override {
-    return sanitizer_groups_.empty() ? nullptr : &sanitizer_groups_;
+    return plan_->sanitizer_groups.empty() ? nullptr : &plan_->sanitizer_groups;
   }
 
   StatusOr<RunReport> Run(const RunRequest& request) const override {
-    const uint64_t seed = request.workload_seed.value_or(seed_);
+    const VariantPlan& plan = *plan_;
+    const uint64_t seed = request.workload_seed.value_or(plan.seed);
 
     std::vector<nxe::VariantTrace> traces;
-    traces.reserve(variant_specs_.size());
-    for (const auto& spec : variant_specs_) {
-      traces.push_back(BuildOne(spec, seed));
+    traces.reserve(members_.size());
+    for (size_t global : members_) {
+      traces.push_back(BuildOne(plan.specs[global], seed));
     }
-    for (const auto& injection : injections_) {
+    for (const auto& injection : plan.detect_injections) {
+      const std::optional<size_t> local = LocalSlot(injection.variant);
+      if (!local.has_value()) {
+        continue;  // that variant runs in another shard
+      }
       // Splice the firing check mid-run into the variant's first thread (the
       // attack reaches the vulnerable function partway through execution).
-      auto& actions = traces[injection.variant].threads.front().actions;
+      auto& actions = traces[*local].threads.front().actions;
       actions.insert(actions.begin() + static_cast<ptrdiff_t>(actions.size() / 2),
                      nxe::ThreadAction::Detect(injection.detector));
     }
-    for (const auto& injection : diverge_injections_) {
+    for (const auto& injection : plan.diverge_injections) {
+      const std::optional<size_t> local = LocalSlot(injection.variant);
+      if (!local.has_value()) {
+        continue;
+      }
       // The compromised variant tries to push a different payload through a
       // mid-run observable syscall; the monitor must flag the mismatch.
-      auto& actions = traces[injection.variant].threads.front().actions;
+      auto& actions = traces[*local].threads.front().actions;
       std::vector<size_t> sites;
       for (size_t i = 0; i < actions.size(); ++i) {
         if (actions[i].kind == nxe::ActionKind::kSyscall &&
@@ -192,23 +200,36 @@ class TraceBackend final : public Backend {
       rec.args[1] = static_cast<int64_t>(injection.payload.size());
     }
 
-    nxe::Engine engine(config_);
+    // A shard runs a trace subset, but the whole session still shares the
+    // host: contention (LLC, core time-sharing) is modeled session-wide.
+    nxe::EngineConfig config = plan.engine_config;
+    config.contention_variants = plan.n_variants();
+    nxe::Engine engine(config);
 
     RunReport report;
     report.backend = name();
-    auto baseline = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed));
-    if (!baseline.ok()) {
-      return baseline.status();
+    if (owns_baseline_) {
+      auto baseline = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed));
+      if (!baseline.ok()) {
+        return baseline.status();
+      }
+      report.baseline_time = *baseline;
     }
-    report.baseline_time = *baseline;
     report.variant_compute_scale.reserve(traces.size());
-    for (const auto& spec : variant_specs_) {
-      report.variant_compute_scale.push_back(spec.compute_scale);
+    for (size_t global : members_) {
+      report.variant_compute_scale.push_back(plan.specs[global].compute_scale);
     }
-    if (measure_standalone_) {
+    if (plan.measure_standalone) {
       report.variant_standalone_time.reserve(traces.size());
-      for (const auto& trace : traces) {
-        auto standalone = engine.RunBaseline(trace);
+      for (size_t local = 0; local < traces.size(); ++local) {
+        if (local == 0 && !owns_baseline_) {
+          // The leader replica's standalone time is owned (and measured) by
+          // the baseline shard; Merge ignores this slot, so don't simulate
+          // the most expensive trace k-1 extra times.
+          report.variant_standalone_time.push_back(0.0);
+          continue;
+        }
+        auto standalone = engine.RunBaseline(traces[local]);
         if (!standalone.ok()) {
           return standalone.status();
         }
@@ -253,23 +274,26 @@ class TraceBackend final : public Backend {
 
  private:
   nxe::VariantTrace BuildOne(const workload::VariantSpec& spec, uint64_t seed) const {
-    if (server_.has_value()) {
-      return workload::BuildServerTrace(*server_, spec, seed);
+    if (plan_->server.has_value()) {
+      return workload::BuildServerTrace(*plan_->server, spec, seed);
     }
-    return workload::BuildTrace(*bench_, spec, seed);
+    return workload::BuildTrace(*plan_->benchmark, spec, seed);
   }
 
-  std::optional<workload::BenchmarkSpec> bench_;
-  std::optional<workload::ServerSpec> server_;
-  std::vector<workload::VariantSpec> variant_specs_;
-  std::vector<DetectInjection> injections_;
-  std::vector<DivergeInjection> diverge_injections_;
-  nxe::EngineConfig config_;
-  uint64_t seed_;
+  // Local slot of global variant `global`, if this shard runs it.
+  std::optional<size_t> LocalSlot(size_t global) const {
+    for (size_t local = 0; local < members_.size(); ++local) {
+      if (members_[local] == global) {
+        return local;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::shared_ptr<const VariantPlan> plan_;
+  std::vector<size_t> members_;  // members_[local_slot] = global slot; [0] is the leader
+  bool owns_baseline_;
   std::vector<std::string> labels_;
-  std::optional<distribution::CheckDistributionPlan> check_plan_;
-  std::vector<std::vector<std::string>> sanitizer_groups_;
-  bool measure_standalone_ = false;
 };
 
 std::string JoinNames(const std::vector<std::string>& names) {
@@ -294,21 +318,171 @@ const char* NvxOutcomeName(NvxOutcome outcome) {
   return support::EnumName(kNames, outcome);
 }
 
-const char* DistributionStrategyName(DistributionStrategy strategy) {
-  static constexpr support::EnumNameEntry kNames[] = {
-      {static_cast<int>(DistributionStrategy::kNone), "identical"},
-      {static_cast<int>(DistributionStrategy::kCheck), "check-distribution"},
-      {static_cast<int>(DistributionStrategy::kSanitizer), "sanitizer-distribution"},
-      {static_cast<int>(DistributionStrategy::kUbsanSub), "ubsan-sub-distribution"},
-  };
-  return support::EnumName(kNames, strategy);
-}
-
 StatusOr<double> RunReport::Overhead() const {
   if (!baseline_time.has_value() || *baseline_time <= 0.0) {
     return FailedPrecondition("no valid baseline time in this report");
   }
   return total_time / *baseline_time - 1.0;
+}
+
+StatusOr<RunReport> RunReport::Merge(size_t n_variants,
+                                     const std::vector<PartialReport>& partials) {
+  if (partials.empty()) {
+    return InvalidArgument("Merge() needs at least one partial report");
+  }
+
+  RunReport merged;
+  merged.variant_finish_time.assign(n_variants, 0.0);
+  merged.variant_compute_scale.assign(n_variants, 0.0);
+  bool any_standalone = false;
+  for (const auto& partial : partials) {
+    any_standalone = any_standalone || !partial.report.variant_standalone_time.empty();
+  }
+  if (any_standalone) {
+    merged.variant_standalone_time.assign(n_variants, 0.0);
+  }
+
+  // A partial owns every covered slot except a leader replica it only ran
+  // for synchronization (global slot 0 when !owns_baseline).
+  std::vector<bool> owned(n_variants, false);
+  const PartialReport* detect_winner = nullptr;
+  const PartialReport* diverge_winner = nullptr;
+  double gap_sum = 0.0;
+  double gap_weight = 0.0;
+
+  for (const auto& partial : partials) {
+    const RunReport& r = partial.report;
+    if (partial.variant_index.empty() && !partial.owns_baseline) {
+      continue;  // an empty shard contributes nothing
+    }
+    if (merged.backend.empty()) {
+      merged.backend = r.backend;
+    }
+    if (partial.variant_index.size() != r.variant_finish_time.size()) {
+      return InvalidArgument("partial covers " + std::to_string(partial.variant_index.size()) +
+                             " slot(s) but reports " +
+                             std::to_string(r.variant_finish_time.size()) + " finish time(s)");
+    }
+    for (size_t local = 0; local < partial.variant_index.size(); ++local) {
+      const size_t global = partial.variant_index[local];
+      if (global >= n_variants) {
+        return InvalidArgument("partial maps local slot " + std::to_string(local) +
+                               " to variant " + std::to_string(global) + ", but the session has " +
+                               std::to_string(n_variants));
+      }
+      if (!partial.owns_baseline && global == 0) {
+        continue;  // leader replica: run for synchronization, owned elsewhere
+      }
+      if (owned[global]) {
+        return InvalidArgument("variant " + std::to_string(global) +
+                               " is owned by two partial reports");
+      }
+      owned[global] = true;
+      merged.variant_finish_time[global] = r.variant_finish_time[local];
+      if (local < r.variant_compute_scale.size()) {
+        merged.variant_compute_scale[global] = r.variant_compute_scale[local];
+      }
+      if (any_standalone && local < r.variant_standalone_time.size()) {
+        merged.variant_standalone_time[global] = r.variant_standalone_time[local];
+      }
+    }
+
+    // Shards run concurrently: the session ends when the slowest shard does.
+    merged.total_time = std::max(merged.total_time, r.total_time);
+    if (partial.owns_baseline) {
+      merged.baseline_time = r.baseline_time;
+      merged.return_value = r.return_value;
+    }
+
+    // Counters sum: each shard genuinely performs that monitor work (the
+    // leader-replica redundancy is a real cost, not an accounting artifact).
+    merged.synced_syscalls += r.synced_syscalls;
+    merged.ignored_syscalls += r.ignored_syscalls;
+    merged.lockstep_barriers += r.lockstep_barriers;
+    merged.lock_acquisitions += r.lock_acquisitions;
+    merged.max_syscall_gap = std::max(merged.max_syscall_gap, r.max_syscall_gap);
+    gap_sum += r.avg_syscall_gap * static_cast<double>(r.synced_syscalls);
+    gap_weight += static_cast<double>(r.synced_syscalls);
+
+    // Incident lattice bookkeeping: within a class the earliest virtual
+    // abort time wins; ties resolve to the earliest-listed partial.
+    if (r.outcome == NvxOutcome::kDetected) {
+      if (!r.detection.has_value()) {
+        return InvalidArgument("detected partial report carries no detection");
+      }
+      if (detect_winner == nullptr || r.total_time < detect_winner->report.total_time) {
+        detect_winner = &partial;
+      }
+    } else if (r.outcome == NvxOutcome::kDiverged) {
+      if (!r.divergence.has_value()) {
+        return InvalidArgument("diverged partial report carries no divergence");
+      }
+      if (diverge_winner == nullptr || r.total_time < diverge_winner->report.total_time) {
+        diverge_winner = &partial;
+      }
+    }
+  }
+  merged.avg_syscall_gap = gap_weight > 0.0 ? gap_sum / gap_weight : 0.0;
+
+  auto to_global = [](const PartialReport& partial, size_t local) -> StatusOr<size_t> {
+    if (local >= partial.variant_index.size()) {
+      return InvalidArgument("incident attributed to local slot " + std::to_string(local) +
+                             ", outside the partial's coverage");
+    }
+    return partial.variant_index[local];
+  };
+
+  // Outcome lattice: Detection > Divergence > Clean. Attribution stays
+  // leader-relative — every shard compares against its leader replica, so a
+  // remapped incident means the same thing it would unsharded.
+  if (detect_winner != nullptr) {
+    StatusOr<size_t> global = to_global(*detect_winner, detect_winner->report.detection->variant);
+    if (!global.ok()) {
+      return global.status();
+    }
+    merged.outcome = NvxOutcome::kDetected;
+    merged.detection = detect_winner->report.detection;
+    merged.detection->variant = *global;
+    merged.aborted_all = true;
+  } else if (diverge_winner != nullptr) {
+    StatusOr<size_t> global = to_global(*diverge_winner, diverge_winner->report.divergence->variant);
+    if (!global.ok()) {
+      return global.status();
+    }
+    merged.outcome = NvxOutcome::kDiverged;
+    merged.divergence = diverge_winner->report.divergence;
+    merged.divergence->variant = *global;
+    if (!merged.divergence->expected.empty() || !merged.divergence->actual.empty()) {
+      // Trace-style detail names the variant: rebuild it with the global index.
+      merged.divergence->detail = "variant " + std::to_string(*global) + " expected '" +
+                                  merged.divergence->expected + "' got '" +
+                                  merged.divergence->actual + "'";
+    }
+    merged.aborted_all = true;
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Backend: the default (whole-session) shard seam.
+// ---------------------------------------------------------------------------
+
+std::vector<size_t> Backend::shard_coverage() const {
+  std::vector<size_t> identity(n_variants());
+  std::iota(identity.begin(), identity.end(), 0);
+  return identity;
+}
+
+StatusOr<PartialReport> Backend::RunPartial(const RunRequest& request) const {
+  StatusOr<RunReport> report = Run(request);
+  if (!report.ok()) {
+    return report.status();
+  }
+  PartialReport partial;
+  partial.variant_index = shard_coverage();
+  partial.owns_baseline = owns_baseline();
+  partial.report = std::move(*report);
+  return partial;
 }
 
 StatusOr<RunReport> NvxSession::Run(const RunRequest& request) const {
@@ -388,6 +562,10 @@ NvxBuilder& NvxBuilder::Async(size_t n_workers) {
   async_workers_ = n_workers;
   return *this;
 }
+NvxBuilder& NvxBuilder::Shards(size_t k) {
+  shards_ = k;
+  return *this;
+}
 NvxBuilder& NvxBuilder::Lockstep(nxe::LockstepMode mode) {
   engine_config_.mode = mode;
   return *this;
@@ -429,7 +607,7 @@ NvxBuilder& NvxBuilder::SetObserver(Observer observer) {
   return *this;
 }
 
-StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend() const {
+Status NvxBuilder::ValidateTarget() const {
   const int targets = (module_ != nullptr ? 1 : 0) + (benchmark_.has_value() ? 1 : 0) +
                       (server_.has_value() ? 1 : 0);
   if (targets == 0) {
@@ -444,12 +622,88 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend() const {
   if (strategy_ == DistributionStrategy::kSanitizer && sanitizers_.empty()) {
     return InvalidArgument("DistributeSanitizers() requires at least one sanitizer");
   }
+  if (shards_.has_value()) {
+    if (*shards_ == 0) {
+      return InvalidArgument("Shards(k) requires k >= 1");
+    }
+    if (module_ != nullptr) {
+      return InvalidArgument(
+          "Shards() requires a trace target (Benchmark/Server); the IR backend executes whole "
+          "sessions only");
+    }
+  }
+  return Status::Ok();
+}
 
-  return module_ != nullptr ? BuildIrBackend() : BuildTraceBackend();
+std::shared_ptr<support::ThreadPool> NvxBuilder::MakePool(bool always) const {
+  const bool sharded = shards_.has_value() && *shards_ > 1;
+  if (!always && !async_workers_.has_value() && !sharded) {
+    return nullptr;
+  }
+  // A shard dispatcher blocks on shard tasks of its own pool, so a sharded
+  // session's pool is clamped to >= 2 workers — even Async(0) on a 1-core
+  // host (CI) must not produce a single-worker pool. The dispatcher also
+  // claims shards itself, so this is throughput insurance, not a deadlock
+  // precondition (see support/thread_pool.h).
+  return std::make_shared<support::ThreadPool>(async_workers_.value_or(0),
+                                               /*min_workers=*/sharded ? 2 : 1);
+}
+
+StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
+    const std::shared_ptr<support::ThreadPool>& shard_pool, bool backend_owns_pool) const {
+  Status valid = ValidateTarget();
+  if (!valid.ok()) {
+    return valid;
+  }
+  if (module_ != nullptr) {
+    return BuildIrBackend();
+  }
+
+  StatusOr<VariantPlan> plan = PlanVariants();
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  auto shared = std::make_shared<const VariantPlan>(std::move(*plan));
+
+  if (!shards_.has_value()) {
+    std::vector<size_t> all(shared->n_variants());
+    std::iota(all.begin(), all.end(), 0);
+    return std::unique_ptr<Backend>(
+        new TraceBackend(std::move(shared), std::move(all), /*owns_baseline=*/true));
+  }
+
+  // Shard 0 carries the baseline/leader slot; followers are dealt
+  // round-robin. Every shard replicates the leader (local slot 0) for
+  // synchronization; groups that would hold only the replica are dropped.
+  std::vector<std::unique_ptr<Backend>> shard_backends;
+  for (size_t j = 0; j < *shards_; ++j) {
+    std::vector<size_t> members = {0};
+    for (size_t global = 1; global < shared->n_variants(); ++global) {
+      if ((global - 1) % *shards_ == j) {
+        members.push_back(global);
+      }
+    }
+    if (j > 0 && members.size() == 1) {
+      continue;  // empty shard: more shards requested than followers exist
+    }
+    shard_backends.push_back(std::unique_ptr<Backend>(
+        new TraceBackend(shared, std::move(members), /*owns_baseline=*/j == 0)));
+  }
+  return std::unique_ptr<Backend>(new ShardedBackend(std::move(shared), std::move(shard_backends),
+                                                     shard_pool, backend_owns_pool));
 }
 
 StatusOr<NvxSession> NvxBuilder::Build() const {
-  StatusOr<std::unique_ptr<Backend>> backend = BuildBackend();
+  Status valid = ValidateTarget();
+  if (!valid.ok()) {
+    return valid;
+  }
+  // One pool serves both layers: ShardedBackend dispatches shards onto it,
+  // and AsyncBackend offloads whole Run() calls onto it.
+  std::shared_ptr<support::ThreadPool> pool = MakePool(/*always=*/false);
+  // Synchronous sessions are never destroyed on a pool worker, so the
+  // sharded backend may co-own the pool (sole owner when Async() is off).
+  StatusOr<std::unique_ptr<Backend>> backend = BuildBackend(pool, /*backend_owns_pool=*/true);
   if (!backend.ok()) {
     return backend.status();
   }
@@ -457,8 +711,7 @@ StatusOr<NvxSession> NvxBuilder::Build() const {
   if (async_workers_.has_value()) {
     // Transparent offload: the session behaves synchronously but every Run()
     // executes on a pool worker. For Submit()-style use, see BuildAsync().
-    backend = std::unique_ptr<Backend>(new AsyncBackend(
-        std::move(*backend), std::make_shared<support::ThreadPool>(*async_workers_)));
+    backend = std::unique_ptr<Backend>(new AsyncBackend(std::move(*backend), pool));
   }
 
   NvxSession session(std::move(*backend));
@@ -468,14 +721,25 @@ StatusOr<NvxSession> NvxBuilder::Build() const {
 
 StatusOr<AsyncNvxSession> NvxBuilder::BuildAsync(
     std::shared_ptr<support::ThreadPool> pool) const {
-  // Note: the raw backend, never AsyncBackend — a Submit()ed run must not
-  // re-submit itself to the same pool it is already executing on.
-  StatusOr<std::unique_ptr<Backend>> backend = BuildBackend();
-  if (!backend.ok()) {
-    return backend.status();
+  Status valid = ValidateTarget();
+  if (!valid.ok()) {
+    return valid;
   }
   if (pool == nullptr) {
-    pool = std::make_shared<support::ThreadPool>(async_workers_.value_or(0));
+    pool = MakePool(/*always=*/true);
+  }
+  // Note: the raw backend, never AsyncBackend — a Submit()ed run must not
+  // re-submit itself to the same pool it is already executing on. A sharded
+  // backend does share the session pool for its shard dispatch: its
+  // dispatcher claims shards itself, so even a fully busy pool makes
+  // progress (support/thread_pool.h's nested-dispatch rule). The backend
+  // must NOT own the pool here: in-flight submissions can release the last
+  // session reference from a pool worker, and a ThreadPool must never be
+  // destroyed on its own worker — AsyncNvxSession owns the pool instead.
+  StatusOr<std::unique_ptr<Backend>> backend =
+      BuildBackend(pool, /*backend_owns_pool=*/false);
+  if (!backend.ok()) {
+    return backend.status();
   }
 
   NvxSession session(std::move(*backend));
@@ -539,19 +803,34 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend() const {
                                                 std::move(labels)));
 }
 
-StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildTraceBackend() const {
+StatusOr<VariantPlan> NvxBuilder::PlanVariants() const {
+  Status valid = ValidateTarget();
+  if (!valid.ok()) {
+    return valid;
+  }
+  if (module_ != nullptr) {
+    return InvalidArgument(
+        "PlanVariants() requires a trace target (Benchmark/Server); IR planning lives inside "
+        "core::IrNvxSystem");
+  }
   if (server_.has_value() && strategy_ != DistributionStrategy::kNone) {
     return InvalidArgument("server targets support identical clones only (no distribution)");
   }
 
-  nxe::EngineConfig config = engine_config_;
-  config.cache_sensitivity = cache_sensitivity_.value_or(
+  VariantPlan plan;
+  plan.benchmark = benchmark_;
+  plan.server = server_;
+  plan.strategy = strategy_;
+  plan.seed = seed_;
+  plan.measure_standalone = measure_standalone_;
+  plan.engine_config = engine_config_;
+  plan.engine_config.cache_sensitivity = cache_sensitivity_.value_or(
       benchmark_.has_value() ? benchmark_->cache_sensitivity : 1.0);
 
-  std::vector<workload::VariantSpec> specs;
-  std::vector<std::string> labels;
-  std::optional<distribution::CheckDistributionPlan> check_plan;
-  std::vector<std::vector<std::string>> sanitizer_groups;
+  std::vector<workload::VariantSpec>& specs = plan.specs;
+  std::vector<std::string>& labels = plan.labels;
+  std::optional<distribution::CheckDistributionPlan>& check_plan = plan.check_plan;
+  std::vector<std::vector<std::string>>& sanitizer_groups = plan.sanitizer_groups;
 
   switch (strategy_) {
     case DistributionStrategy::kNone: {
@@ -679,11 +958,10 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildTraceBackend() const {
                              std::to_string(specs.size()) + " variants)");
     }
   }
+  plan.detect_injections = detect_injections_;
+  plan.diverge_injections = diverge_injections_;
 
-  return std::unique_ptr<Backend>(new TraceBackend(
-      benchmark_, server_, std::move(specs), detect_injections_, diverge_injections_,
-      config, seed_, std::move(labels), std::move(check_plan),
-      std::move(sanitizer_groups), measure_standalone_));
+  return plan;
 }
 
 }  // namespace api

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/plan.h"
 #include "src/core/bunshin.h"
 #include "src/distribution/distribution.h"
 #include "src/ir/ir.h"
@@ -81,6 +82,8 @@ struct Divergence {
   std::string detail;     // human-readable summary (both backends)
 };
 
+struct PartialReport;
+
 struct RunReport {
   std::string backend;  // "ir" or "trace"
 
@@ -116,6 +119,38 @@ struct RunReport {
   // §5.3 attack-window metric (selective lockstep, trace backend).
   double avg_syscall_gap = 0.0;
   uint64_t max_syscall_gap = 0;
+
+  // Merges the partial reports of shard executions back into one session
+  // report over `n_variants` global variant slots. Semantics:
+  //   * outcome lattice: Detection > Divergence > Clean. Among incidents of
+  //     the winning class, the earliest virtual abort time (the partial's
+  //     total_time) wins; attribution is remapped to global variant indices
+  //     and stays leader-relative (every shard replicates the leader).
+  //   * timing: total_time is the slowest shard's virtual time (shards run
+  //     concurrently); per-variant slots come from the shard that *owns*
+  //     each variant (the leader slot belongs to the owns_baseline shard,
+  //     which also contributes baseline_time — so Overhead() keeps working).
+  //   * telemetry: syscall/barrier/lock counters sum across shards (each
+  //     shard really performs that monitor work — the redundancy cost of
+  //     replicating the leader is visible, not hidden); avg_syscall_gap is
+  //     weighted by each shard's synced_syscalls, max_syscall_gap is a max.
+  // Errors: no partials, an index out of range, a slot owned twice, or a
+  // coverage/vector length mismatch. A partial covering no variants (an
+  // empty shard) contributes nothing and is legal.
+  static StatusOr<RunReport> Merge(size_t n_variants,
+                                   const std::vector<PartialReport>& partials);
+};
+
+// One shard's execution result: the shard-local RunReport plus the mapping
+// from its local variant slots to the session's global slots. Local slot 0
+// is the shard's leader replica; a shard that does not own the baseline
+// still runs it (synchronization needs a leader) but does not own its
+// merged timing slot or the baseline time.
+struct PartialReport {
+  // variant_index[local_slot] = global session slot. Empty = an empty shard.
+  std::vector<size_t> variant_index;
+  bool owns_baseline = false;
+  RunReport report;
 };
 
 // ---------------------------------------------------------------------------
@@ -136,21 +171,6 @@ struct Observer {
 // ---------------------------------------------------------------------------
 // Backend: the pluggable execution substrate behind a session.
 // ---------------------------------------------------------------------------
-
-// One spliced sanitizer detection (attack scenarios / tests): a firing
-// check in `variant`'s trace, mid-run.
-struct DetectInjection {
-  size_t variant = 0;
-  std::string detector;
-};
-
-// One spliced divergence (attack scenarios / tests): the compromised variant
-// emits a different payload through a mid-run sync-relevant syscall, which
-// the monitor flags as an observable-behavior divergence.
-struct DivergeInjection {
-  size_t variant = 0;
-  std::string payload;
-};
 
 // One execution request. The IR backend interprets `entry`/`args`; the trace
 // backend replays its builder-configured workload (optionally re-seeded).
@@ -182,6 +202,16 @@ class Backend {
   // runs complete concurrently). Must be safe to call from several threads
   // at once — backends keep all per-run state on the stack.
   virtual StatusOr<RunReport> Run(const RunRequest& request) const = 0;
+
+  // --- The shard seam ------------------------------------------------------
+  // Which global session slots this backend's reports cover, in local slot
+  // order. A whole-session backend covers the identity mapping and owns the
+  // baseline; a shard built over a plan subset overrides both.
+  virtual std::vector<size_t> shard_coverage() const;
+  virtual bool owns_baseline() const { return true; }
+  // Run() plus the coverage above: the mergeable unit every backend emits
+  // (ShardedBackend and RunReport::Merge consume these).
+  StatusOr<PartialReport> RunPartial(const RunRequest& request) const;
 
   // Introspection; null when the backend has no such plan.
   virtual const distribution::CheckDistributionPlan* check_plan() const { return nullptr; }
@@ -236,15 +266,6 @@ class NvxSession {
 // NvxBuilder: fluent configuration producing an NvxSession.
 // ---------------------------------------------------------------------------
 
-enum class DistributionStrategy {
-  kNone,       // N identical clones (NXE-efficiency experiments)
-  kCheck,      // one sanitizer's checks split across variants (§3.2)
-  kSanitizer,  // whole sanitizers grouped conflict-free (§3.1/§5.6)
-  kUbsanSub,   // UBSan's 19 sub-sanitizers distributed (§5.5)
-};
-
-const char* DistributionStrategyName(DistributionStrategy strategy);
-
 class NvxBuilder {
  public:
   // --- Target selection (exactly one required) -----------------------------
@@ -292,10 +313,24 @@ class NvxBuilder {
   // Build() then returns a session whose Run() executes on a worker, and
   // BuildAsync() sizes the session's own pool with it.
   NvxBuilder& Async(size_t n_workers);
+  // Fan the session's variants out across k engine shards (trace targets
+  // only). Shard 0 carries the baseline/leader slot; followers are dealt
+  // round-robin; every shard replicates the leader for synchronization.
+  // Each Run() dispatches the shards onto a thread pool and merges their
+  // PartialReports (RunReport::Merge). Composes with Async(n): both layers
+  // share one pool, sized by n and clamped to >= 2 workers so the shard
+  // dispatcher can never starve its own shards (see support/thread_pool.h).
+  NvxBuilder& Shards(size_t k);
 
   // Validates the configuration and constructs the session (and its
   // variants); all configuration errors surface here, not at Run() time.
   StatusOr<NvxSession> Build() const;
+
+  // The planning half of Build() for trace targets: per-variant specs,
+  // distribution output, injections, resolved engine config. Backends (and
+  // all shards of one session) consume one plan without re-profiling or
+  // re-partitioning, and plan.CacheKey() is the session-batching cache key.
+  StatusOr<VariantPlan> PlanVariants() const;
 
   // Async variant of Build(): a session exposing Submit() -> RunHandle plus
   // completion-queue delivery (src/api/async.h). Pass a shared pool to run
@@ -306,9 +341,19 @@ class NvxBuilder {
 
  private:
   StatusOr<std::unique_ptr<Backend>> BuildIrBackend() const;
-  StatusOr<std::unique_ptr<Backend>> BuildTraceBackend() const;
-  // Validation + backend construction shared by Build()/BuildAsync().
-  StatusOr<std::unique_ptr<Backend>> BuildBackend() const;
+  // Validation + backend construction shared by Build()/BuildAsync(). When
+  // sharding is enabled the sharded backend dispatches onto `shard_pool`;
+  // `backend_owns_pool` must be false when the backend may be destroyed on
+  // a pool worker (the AsyncNvxSession composition — see shard.h).
+  StatusOr<std::unique_ptr<Backend>> BuildBackend(
+      const std::shared_ptr<support::ThreadPool>& shard_pool, bool backend_owns_pool) const;
+  // The pool shared by AsyncBackend and ShardedBackend — the single home of
+  // the sizing rule (Async(n) workers, clamped to >= 2 when sharding).
+  // Returns null when neither layer is enabled, unless `always` (BuildAsync
+  // needs a pool regardless).
+  std::shared_ptr<support::ThreadPool> MakePool(bool always) const;
+  // Common validation for Build()/PlanVariants().
+  Status ValidateTarget() const;
 
   const ir::Module* module_ = nullptr;
   std::optional<workload::BenchmarkSpec> benchmark_;
@@ -329,6 +374,7 @@ class NvxBuilder {
   uint64_t seed_ = 42;
   uint64_t interpreter_fuel_ = 50'000'000;
   std::optional<size_t> async_workers_;  // set by Async(); 0 = hw concurrency
+  std::optional<size_t> shards_;         // set by Shards()
   Observer observer_;
 };
 

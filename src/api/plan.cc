@@ -1,0 +1,72 @@
+#include "src/api/plan.h"
+
+#include "src/support/enum_name.h"
+
+namespace bunshin {
+namespace api {
+
+const char* DistributionStrategyName(DistributionStrategy strategy) {
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(DistributionStrategy::kNone), "identical"},
+      {static_cast<int>(DistributionStrategy::kCheck), "check-distribution"},
+      {static_cast<int>(DistributionStrategy::kSanitizer), "sanitizer-distribution"},
+      {static_cast<int>(DistributionStrategy::kUbsanSub), "ubsan-sub-distribution"},
+  };
+  return support::EnumName(kNames, strategy);
+}
+
+std::string VariantPlan::CacheKey() const {
+  // Target identity must include the trace-shaping knobs, not just the
+  // name: a custom BenchmarkSpec/ServerSpec may reuse a catalog name with
+  // a different shape, and those fields drive trace generation directly.
+  std::string key;
+  if (benchmark.has_value()) {
+    key = "bench:" + benchmark->name + "/" + std::to_string(benchmark->total_compute) + "/" +
+          std::to_string(benchmark->n_syscalls) + "/" + std::to_string(benchmark->threads) +
+          "/" + std::to_string(benchmark->barriers) + "/" +
+          std::to_string(benchmark->io_write_frac) + "/" +
+          std::to_string(benchmark->locks_per_kilo) + "/" +
+          std::to_string(benchmark->noise_rel_sigma);
+  } else if (server.has_value()) {
+    key = "server:" + server->name + "/" + std::to_string(server->threads) + "/" +
+          std::to_string(server->requests) + "/" + std::to_string(server->file_kb) + "/" +
+          std::to_string(server->concurrency) + "/" + std::to_string(server->noise_rel_sigma);
+  } else {
+    key = "none";
+  }
+  key += "|";
+  key += DistributionStrategyName(strategy);
+  key += "|n=" + std::to_string(specs.size());
+  key += "|seed=" + std::to_string(seed);
+  key += "|mode=";
+  key += nxe::LockstepModeName(engine_config.mode);
+  key += "|ring=" + std::to_string(engine_config.ring_capacity);
+  // Everything the reports' timing depends on: LLC sensitivity and the full
+  // cost/hardware model.
+  key += "|llc=" + std::to_string(engine_config.cache_sensitivity);
+  const nxe::CostModel& cost = engine_config.cost;
+  key += "|cost=" + std::to_string(cost.kernel_syscall) + "/" + std::to_string(cost.trap_hook) +
+         "/" + std::to_string(cost.sync_slot) + "/" + std::to_string(cost.result_fetch) + "/" +
+         std::to_string(cost.wait_wakeup) + "/" + std::to_string(cost.synccall) + "/" +
+         std::to_string(cost.lock_primitive) + "/" + std::to_string(cost.cores) + "/" +
+         std::to_string(cost.llc_alpha) + "/" + std::to_string(cost.llc_exponent) + "/" +
+         std::to_string(cost.background_load) + "/" + std::to_string(cost.load_wait_coeff);
+  if (measure_standalone) {
+    key += "|standalone";
+  }
+  // Per-variant sanitizer load distinguishes strategies that land on the
+  // same (name, n) but different groupings.
+  for (const auto& spec : specs) {
+    key += "|" + spec.name + "@" + std::to_string(spec.compute_scale);
+  }
+  for (const auto& injection : detect_injections) {
+    key += "|det" + std::to_string(injection.variant) + ":" + injection.detector;
+  }
+  for (const auto& injection : diverge_injections) {
+    key += "|div" + std::to_string(injection.variant) + ":" + injection.payload;
+  }
+  return key;
+}
+
+}  // namespace api
+}  // namespace bunshin

@@ -1,0 +1,94 @@
+// VariantPlan: the cacheable product of session planning.
+//
+// Planning (profile synthesis, check/sanitizer partitioning, per-variant
+// spec construction) is the expensive, input-independent half of building a
+// trace session; execution is the cheap, per-run half. This header is the
+// seam between them: NvxBuilder produces one VariantPlan, and any backend —
+// the whole-session TraceBackend, each shard of a ShardedBackend, a future
+// multi-host dispatcher — consumes it without re-planning. Shard backends
+// share one plan by shared_ptr, so distributing a session across K executors
+// costs one profile run and one partition, not K.
+//
+// The plan is also the unit the ROADMAP's session-batching item caches:
+// CacheKey() identifies everything that determines the plan's content, so
+// two builders configured alike can share a plan across many Run() calls.
+#ifndef BUNSHIN_SRC_API_PLAN_H_
+#define BUNSHIN_SRC_API_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/distribution/distribution.h"
+#include "src/nxe/engine.h"
+#include "src/workload/tracegen.h"
+#include "src/workload/workload.h"
+
+namespace bunshin {
+namespace api {
+
+enum class DistributionStrategy {
+  kNone,       // N identical clones (NXE-efficiency experiments)
+  kCheck,      // one sanitizer's checks split across variants (§3.2)
+  kSanitizer,  // whole sanitizers grouped conflict-free (§3.1/§5.6)
+  kUbsanSub,   // UBSan's 19 sub-sanitizers distributed (§5.5)
+};
+
+const char* DistributionStrategyName(DistributionStrategy strategy);
+
+// One spliced sanitizer detection (attack scenarios / tests): a firing
+// check in `variant`'s trace, mid-run.
+struct DetectInjection {
+  size_t variant = 0;
+  std::string detector;
+};
+
+// One spliced divergence (attack scenarios / tests): the compromised variant
+// emits a different payload through a mid-run sync-relevant syscall, which
+// the monitor flags as an observable-behavior divergence.
+struct DivergeInjection {
+  size_t variant = 0;
+  std::string payload;
+};
+
+// The fully planned trace session: everything a backend needs to execute
+// any subset of the variants. specs[0] is the leader — it doubles as the
+// baseline designation, and every shard replicates it for synchronization.
+struct VariantPlan {
+  // Target (exactly one set).
+  std::optional<workload::BenchmarkSpec> benchmark;
+  std::optional<workload::ServerSpec> server;
+
+  DistributionStrategy strategy = DistributionStrategy::kNone;
+  uint64_t seed = 42;
+  bool measure_standalone = false;
+
+  // Engine configuration with cache_sensitivity already resolved. Backends
+  // running a variant subset must still set contention_variants to
+  // n_variants() so a shard models session-wide LLC/core pressure.
+  nxe::EngineConfig engine_config;
+
+  // Distribution strategy output.
+  std::vector<workload::VariantSpec> specs;  // [0] is the leader/baseline
+  std::vector<std::string> labels;           // one per spec
+  std::optional<distribution::CheckDistributionPlan> check_plan;
+  std::vector<std::vector<std::string>> sanitizer_groups;
+
+  // Attack-scenario splices, in session-wide (global) variant indices.
+  std::vector<DetectInjection> detect_injections;
+  std::vector<DivergeInjection> diverge_injections;
+
+  size_t n_variants() const { return specs.size(); }
+
+  // Identifies everything that determines this plan's content: two builders
+  // whose plans share a key plan identically, so the key is what a session
+  // batcher caches plans under (the ROADMAP's "module hash/strategy/n" item;
+  // trace targets are identified by name + shape-defining knobs).
+  std::string CacheKey() const;
+};
+
+}  // namespace api
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_API_PLAN_H_

@@ -1,0 +1,95 @@
+#include "src/api/shard.h"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "src/api/async.h"
+#include "src/support/thread_pool.h"
+
+namespace bunshin {
+namespace api {
+
+ShardedBackend::ShardedBackend(std::shared_ptr<const VariantPlan> plan,
+                               std::vector<std::unique_ptr<Backend>> shards,
+                               const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool)
+    : plan_(std::move(plan)),
+      shards_(std::move(shards)),
+      pool_owner_(owns_pool ? pool : nullptr),
+      pool_(pool.get()) {}
+
+const char* ShardedBackend::name() const { return shards_.front()->name(); }
+
+const distribution::CheckDistributionPlan* ShardedBackend::check_plan() const {
+  return plan_->check_plan.has_value() ? &*plan_->check_plan : nullptr;
+}
+
+const std::vector<std::vector<std::string>>* ShardedBackend::sanitizer_groups() const {
+  return plan_->sanitizer_groups.empty() ? nullptr : &plan_->sanitizer_groups;
+}
+
+StatusOr<RunReport> ShardedBackend::Run(const RunRequest& request) const {
+  const size_t n_shards = shards_.size();
+
+  // Per-run dispatch state, shared with the pool helpers. Helpers hold raw
+  // Backend views: every dereference belongs to a claimed shard, and this
+  // frame drains one completion event per shard before returning, so no
+  // helper touches a backend after Run() ends — late-waking helpers that
+  // lost the claim race only read the atomic and exit.
+  struct Dispatch {
+    Dispatch(RunRequest r, const std::vector<std::unique_ptr<Backend>>& backends)
+        : request(std::move(r)) {
+      shards.reserve(backends.size());
+      for (const auto& backend : backends) {
+        shards.push_back(backend.get());
+      }
+    }
+    const RunRequest request;
+    std::vector<const Backend*> shards;
+    std::atomic<size_t> next{0};
+    CompletionQueue done;
+  };
+  auto dispatch = std::make_shared<Dispatch>(request, shards_);
+
+  auto claim_shards = [dispatch] {
+    for (size_t i; (i = dispatch->next.fetch_add(1)) < dispatch->shards.size();) {
+      StatusOr<RunReport> report = dispatch->shards[i]->Run(dispatch->request);
+      dispatch->done.Push(CompletionEvent{i, std::move(report)});
+    }
+  };
+  if (pool_ != nullptr) {
+    // One helper per extra shard; surplus helpers find nothing to claim.
+    for (size_t h = 1; h < n_shards; ++h) {
+      pool_->Submit(claim_shards);
+    }
+  }
+  // The dispatcher claims too: a sharded run completes even when every pool
+  // worker is busy dispatching other sharded runs (or there is no pool).
+  claim_shards();
+
+  // Collect into shard order so merging (and error reporting) is
+  // deterministic regardless of completion order.
+  std::vector<std::optional<StatusOr<RunReport>>> by_shard(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    CompletionEvent event = dispatch->done.Wait();
+    by_shard[event.token].emplace(std::move(event.report));
+  }
+
+  std::vector<PartialReport> partials;
+  partials.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    StatusOr<RunReport>& report = *by_shard[i];
+    if (!report.ok()) {
+      return report.status();
+    }
+    PartialReport partial;
+    partial.variant_index = shards_[i]->shard_coverage();
+    partial.owns_baseline = shards_[i]->owns_baseline();
+    partial.report = std::move(*report);
+    partials.push_back(std::move(partial));
+  }
+  return RunReport::Merge(plan_->n_variants(), partials);
+}
+
+}  // namespace api
+}  // namespace bunshin

@@ -193,8 +193,11 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
   }
 
   const CostModel& cm = config_.cost;
-  const double llc = cm.LlcMultiplier(n_variants, config_.cache_sensitivity);
-  const double serial = cm.SerializationMultiplier(n_variants, std::max<size_t>(n_threads, 1));
+  // Contention width: a shard engine runs a subset of a session's variants,
+  // but the whole session shares the host's cache and cores.
+  const size_t width = std::max(config_.contention_variants, n_variants);
+  const double llc = cm.LlcMultiplier(width, config_.cache_sensitivity);
+  const double serial = cm.SerializationMultiplier(width, std::max<size_t>(n_threads, 1));
   const double compute_factor = llc * serial;
 
   SyncReport report;
@@ -223,6 +226,30 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
       n_variants, std::vector<std::vector<double>>(n_threads));
 
   std::vector<OrderEntry> order_list;  // leader's lock-acquisition total order
+
+  // Reserve the per-action bookkeeping up front: the leader's trace bounds
+  // every publish/consume/order append (followers replay its sync stream and
+  // lock order), so sizing from one pass over it replaces the per-event
+  // geometric regrowth of these vectors — the dominant allocation cost of
+  // Run() at high n_variants (see bench/micro_shard_scaling).
+  {
+    size_t leader_locks = 0;
+    for (size_t t = 0; t < n_threads; ++t) {
+      size_t leader_syncs = 0;
+      for (const auto& action : variants[0].threads[t].actions) {
+        if (action.kind == ActionKind::kSyscall && sc::IsSyncRelevant(action.syscall.no)) {
+          ++leader_syncs;
+        } else if (action.kind == ActionKind::kLockAcquire) {
+          ++leader_locks;
+        }
+      }
+      published[t].reserve(leader_syncs);
+      for (size_t v = 1; v < n_variants; ++v) {
+        consume_time[v][t].reserve(leader_syncs);
+      }
+    }
+    order_list.reserve(leader_locks);
+  }
 
   uint64_t gap_samples = 0;
   double gap_sum = 0.0;

@@ -78,6 +78,14 @@ struct EngineConfig {
   // Per-benchmark LLC sensitivity (how much the workload suffers from
   // sharing cache with its clones), around 1.0.
   double cache_sensitivity = 1.0;
+  // Session-wide variant count for contention modeling, or 0 to use the
+  // number of traces passed to Run(). When one session's variants are
+  // sharded across several engine instances, each instance executes a trace
+  // subset but all N variants still share the host: set this to N so a
+  // shard engine can be constructed over a spec subset (no re-profiling)
+  // and still charge the full session's LLC pressure and core time-sharing.
+  // Never lowers the width below the traces actually being run.
+  size_t contention_variants = 0;
 };
 
 struct Divergence {

@@ -5,6 +5,17 @@
 // synchronization workers no matter how many requests are in flight. Tasks
 // submitted before destruction are always drained — the destructor joins only
 // after the queue is empty, so completions are never silently dropped.
+//
+// Nested-dispatch sizing rule: a task that submits further work onto the
+// SAME pool and then blocks waiting for it (the sharded-session dispatcher,
+// src/api/shard.h) occupies a worker slot while its sub-tasks queue behind
+// it. On a 1-core host, ThreadPool(0) resolves to a single worker, which such
+// a task would monopolize — so callers that nest dispatch must pass
+// min_workers >= 2 (NvxBuilder does whenever sharding is enabled). The shard
+// dispatcher additionally claims its own sub-tasks while waiting, so for it
+// the clamp is throughput insurance rather than a deadlock precondition; any
+// other nested-dispatch pattern must either claim its own work the same way
+// or respect the >= 2 rule strictly.
 #ifndef BUNSHIN_SRC_SUPPORT_THREAD_POOL_H_
 #define BUNSHIN_SRC_SUPPORT_THREAD_POOL_H_
 
@@ -20,8 +31,10 @@ namespace support {
 
 class ThreadPool {
  public:
-  // n_workers == 0 picks the hardware concurrency (at least 1).
-  explicit ThreadPool(size_t n_workers);
+  // n_workers == 0 picks the hardware concurrency (at least 1). The resolved
+  // size is then clamped to at least min_workers — see the nested-dispatch
+  // sizing rule above for why sharded sessions pass 2.
+  explicit ThreadPool(size_t n_workers, size_t min_workers = 1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
