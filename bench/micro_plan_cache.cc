@@ -1,0 +1,131 @@
+// Plan-cache amortization: sessions/sec cold (re-plan every Build) vs warm
+// (one PlanCache serving every Build), single- and multi-threaded builders.
+//
+// The paper's deployment model plans once per protected program and serves
+// many executions; this bench measures what that amortization is worth in
+// our reproduction. "build-only" isolates the planning half that the cache
+// elides (profile synthesis + check partitioning + spec construction) — the
+// acceptance gate is >= 2x there on repeated identical builds, verified via
+// the cache's own hit/miss counters. "build+run" shows the end-to-end gain
+// when every session also executes once; the multi-threaded section stresses
+// the single-flight path (many builders, one cache, one planning run).
+//
+//   $ ./build/bench/micro_plan_cache
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/api/nvx.h"
+#include "src/api/plan_cache.h"
+
+using namespace bunshin;
+
+namespace {
+
+api::NvxBuilder MakeBuilder(const workload::BenchmarkSpec& bench,
+                            std::shared_ptr<api::PlanCache> cache) {
+  api::NvxBuilder builder;
+  builder.Benchmark(bench)
+      .Variants(8)
+      .DistributeChecks(san::SanitizerId::kASan)
+      .Lockstep(nxe::LockstepMode::kSelective)
+      .Seed(2027);
+  if (cache != nullptr) {
+    builder.WithPlanCache(std::move(cache));
+  }
+  return builder;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Builds (and optionally runs) `sessions` sessions across `threads` threads,
+// each from a fresh builder — the server-fleet shape where every request
+// handler configures its own session. Returns wall seconds, or -1 on error.
+double TimeSessions(const workload::BenchmarkSpec& bench, std::shared_ptr<api::PlanCache> cache,
+                    size_t sessions, size_t threads, bool run_each) {
+  std::atomic<bool> failed{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t per_thread = sessions / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&bench, &cache, &failed, per_thread, run_each] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        auto session = MakeBuilder(bench, cache).Build();
+        if (!session.ok()) {
+          failed = true;
+          return;
+        }
+        if (run_each) {
+          auto report = session->Run();
+          if (!report.ok() || report->outcome != api::NvxOutcome::kOk) {
+            failed = true;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  if (failed.load()) {
+    std::fprintf(stderr, "session build/run failed\n");
+    return -1.0;
+  }
+  return Seconds(start);
+}
+
+int Row(const char* label, const workload::BenchmarkSpec& bench, size_t sessions,
+        size_t threads, bool run_each) {
+  const double cold = TimeSessions(bench, nullptr, sessions, threads, run_each);
+  auto cache = std::make_shared<api::PlanCache>(16);
+  const double warm = TimeSessions(bench, cache, sessions, threads, run_each);
+  if (cold < 0.0 || warm < 0.0) {
+    return 1;
+  }
+  const api::PlanCacheStats stats = cache->stats();
+  const double sessions_d = static_cast<double>(sessions);
+  std::printf("%-22s %10.1f %12.1f %9.2fx   (cache: %llu hit / %llu miss / %llu coalesced)\n",
+              label, sessions_d / cold, sessions_d / warm, cold / warm,
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.coalesced));
+  if (stats.misses != 1) {
+    std::fprintf(stderr, "expected exactly one planning run, saw %llu\n",
+                 static_cast<unsigned long long>(stats.misses));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Plan cache (sessions/sec cold vs warm, 8-variant ASan check distribution)",
+                     "session batching (ROADMAP); no paper figure");
+
+  const workload::BenchmarkSpec& bench = workload::Spec2006()[0];  // perlbench
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("benchmark %s, host cores: %u\n\n", bench.name.c_str(), cores);
+  std::printf("%-22s %10s %12s %9s\n", "configuration", "cold/sec", "warm/sec", "speedup");
+
+  int rc = 0;
+  // Build-only: the planning cost the cache amortizes (the >= 2x gate).
+  rc |= Row("build-only", bench, 192, 1, /*run_each=*/false);
+  // Build+run: one execution per session diluted by engine time.
+  rc |= Row("build+run", bench, 64, 1, /*run_each=*/true);
+  // Multi-threaded builders sharing one cache (single-flight coalescing).
+  rc |= Row("build-only x4 threads", bench, 192, 4, /*run_each=*/false);
+  rc |= Row("build+run  x4 threads", bench, 64, 4, /*run_each=*/true);
+
+  std::printf("\nwarm builds resolve the plan by cache key (one miss total); cold builds\n"
+              "re-run profile synthesis + check partitioning per session.\n");
+  return rc;
+}

@@ -1,6 +1,7 @@
 #include "src/api/nvx.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <utility>
 
@@ -36,10 +37,15 @@ StatusOr<double> SpecOverhead(const workload::BenchmarkSpec& bench, san::Sanitiz
 // IrBackend: variants of an ir::Module executed on the interpreter.
 // ---------------------------------------------------------------------------
 
+// The built system is held by shared_ptr so an IrSystemCache can hand one
+// immutable IrNvxSystem (the expensive instrument/profile/partition/slice
+// product) to many sessions; RunDetailed is const and per-run state lives on
+// the interpreter stack, so sharing is thread-safe.
 class IrBackend final : public Backend {
  public:
-  IrBackend(core::IrNvxSystem system, std::unique_ptr<ir::Module> baseline, uint64_t fuel,
-            bool has_check_plan, std::vector<std::string> labels)
+  IrBackend(std::shared_ptr<const core::IrNvxSystem> system,
+            std::unique_ptr<ir::Module> baseline, uint64_t fuel, bool has_check_plan,
+            std::vector<std::string> labels)
       : system_(std::move(system)),
         baseline_(std::move(baseline)),
         fuel_(fuel),
@@ -47,14 +53,14 @@ class IrBackend final : public Backend {
         labels_(std::move(labels)) {}
 
   const char* name() const override { return "ir"; }
-  size_t n_variants() const override { return system_.n_variants(); }
+  size_t n_variants() const override { return system_->n_variants(); }
   const std::vector<std::string>& variant_labels() const override { return labels_; }
 
   const distribution::CheckDistributionPlan* check_plan() const override {
-    return has_check_plan_ ? &system_.check_plan() : nullptr;
+    return has_check_plan_ ? &system_->check_plan() : nullptr;
   }
   const std::vector<std::vector<std::string>>* sanitizer_groups() const override {
-    return system_.sanitizer_groups().empty() ? nullptr : &system_.sanitizer_groups();
+    return system_->sanitizer_groups().empty() ? nullptr : &system_->sanitizer_groups();
   }
 
   StatusOr<RunReport> Run(const RunRequest& request) const override {
@@ -71,7 +77,7 @@ class IrBackend final : public Backend {
       }
     }
 
-    const core::DetailedNvxRun detailed = system_.RunDetailed(request.entry, request.args);
+    const core::DetailedNvxRun detailed = system_->RunDetailed(request.entry, request.args);
 
     report.variant_finish_time.reserve(detailed.runs.size());
     for (const auto& run : detailed.runs) {
@@ -113,7 +119,7 @@ class IrBackend final : public Backend {
   }
 
  private:
-  core::IrNvxSystem system_;
+  std::shared_ptr<const core::IrNvxSystem> system_;
   std::unique_ptr<ir::Module> baseline_;
   uint64_t fuel_;
   bool has_check_plan_;
@@ -488,6 +494,12 @@ StatusOr<PartialReport> Backend::RunPartial(const RunRequest& request) const {
 StatusOr<RunReport> NvxSession::Run(const RunRequest& request) const {
   StatusOr<RunReport> report = backend_->Run(request);
   if (report.ok()) {
+    if (cache_stats_fn_) {
+      // Stamped above the shard seam: one snapshot per session run, after
+      // any Merge, never per shard.
+      report->plan_from_cache = plan_from_cache_;
+      report->plan_cache = cache_stats_fn_();
+    }
     Notify(*report);
   }
   return report;
@@ -606,6 +618,14 @@ NvxBuilder& NvxBuilder::SetObserver(Observer observer) {
   observer_ = std::move(observer);
   return *this;
 }
+NvxBuilder& NvxBuilder::WithPlanCache(std::shared_ptr<PlanCache> cache) {
+  plan_cache_ = std::move(cache);
+  return *this;
+}
+NvxBuilder& NvxBuilder::WithIrCache(std::shared_ptr<IrSystemCache> cache) {
+  ir_cache_ = std::move(cache);
+  return *this;
+}
 
 Status NvxBuilder::ValidateTarget() const {
   const int targets = (module_ != nullptr ? 1 : 0) + (benchmark_.has_value() ? 1 : 0) +
@@ -621,6 +641,17 @@ Status NvxBuilder::ValidateTarget() const {
   }
   if (strategy_ == DistributionStrategy::kSanitizer && sanitizers_.empty()) {
     return InvalidArgument("DistributeSanitizers() requires at least one sanitizer");
+  }
+  // A cache that can never be consulted is a misconfiguration, not a no-op:
+  // the user opted into amortization and would silently re-plan forever.
+  if (plan_cache_ != nullptr && module_ != nullptr) {
+    return InvalidArgument(
+        "WithPlanCache() applies to trace targets (Benchmark/Server); module targets use "
+        "WithIrCache()");
+  }
+  if (ir_cache_ != nullptr && module_ == nullptr) {
+    return InvalidArgument(
+        "WithIrCache() applies to Module() targets; trace targets use WithPlanCache()");
   }
   if (shards_.has_value()) {
     if (*shards_ == 0) {
@@ -650,20 +681,21 @@ std::shared_ptr<support::ThreadPool> NvxBuilder::MakePool(bool always) const {
 }
 
 StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
-    const std::shared_ptr<support::ThreadPool>& shard_pool, bool backend_owns_pool) const {
+    const std::shared_ptr<support::ThreadPool>& shard_pool, bool backend_owns_pool,
+    CacheTelemetry* telemetry) const {
   Status valid = ValidateTarget();
   if (!valid.ok()) {
     return valid;
   }
   if (module_ != nullptr) {
-    return BuildIrBackend();
+    return BuildIrBackend(telemetry);
   }
 
-  StatusOr<VariantPlan> plan = PlanVariants();
-  if (!plan.ok()) {
-    return plan.status();
+  StatusOr<std::shared_ptr<const VariantPlan>> resolved = ResolveSharedPlan(telemetry);
+  if (!resolved.ok()) {
+    return resolved.status();
   }
-  auto shared = std::make_shared<const VariantPlan>(std::move(*plan));
+  std::shared_ptr<const VariantPlan> shared = std::move(*resolved);
 
   if (!shards_.has_value()) {
     std::vector<size_t> all(shared->n_variants());
@@ -703,7 +735,9 @@ StatusOr<NvxSession> NvxBuilder::Build() const {
   std::shared_ptr<support::ThreadPool> pool = MakePool(/*always=*/false);
   // Synchronous sessions are never destroyed on a pool worker, so the
   // sharded backend may co-own the pool (sole owner when Async() is off).
-  StatusOr<std::unique_ptr<Backend>> backend = BuildBackend(pool, /*backend_owns_pool=*/true);
+  CacheTelemetry telemetry;
+  StatusOr<std::unique_ptr<Backend>> backend =
+      BuildBackend(pool, /*backend_owns_pool=*/true, &telemetry);
   if (!backend.ok()) {
     return backend.status();
   }
@@ -716,6 +750,9 @@ StatusOr<NvxSession> NvxBuilder::Build() const {
 
   NvxSession session(std::move(*backend));
   session.SetObserver(observer_);
+  if (telemetry.stats_fn) {
+    session.SetCacheTelemetry(std::move(telemetry.stats_fn), telemetry.from_cache);
+  }
   return session;
 }
 
@@ -736,18 +773,22 @@ StatusOr<AsyncNvxSession> NvxBuilder::BuildAsync(
   // must NOT own the pool here: in-flight submissions can release the last
   // session reference from a pool worker, and a ThreadPool must never be
   // destroyed on its own worker — AsyncNvxSession owns the pool instead.
+  CacheTelemetry telemetry;
   StatusOr<std::unique_ptr<Backend>> backend =
-      BuildBackend(pool, /*backend_owns_pool=*/false);
+      BuildBackend(pool, /*backend_owns_pool=*/false, &telemetry);
   if (!backend.ok()) {
     return backend.status();
   }
 
   NvxSession session(std::move(*backend));
   session.SetObserver(observer_);
+  if (telemetry.stats_fn) {
+    session.SetCacheTelemetry(std::move(telemetry.stats_fn), telemetry.from_cache);
+  }
   return AsyncNvxSession(std::move(session), std::move(pool));
 }
 
-StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend() const {
+StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend(CacheTelemetry* telemetry) const {
   if (!detect_injections_.empty()) {
     return InvalidArgument(
         "InjectDetection() needs a trace target; IR detections come from the program itself");
@@ -756,42 +797,73 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend() const {
     return InvalidArgument(
         "InjectDivergence() needs a trace target; IR divergence comes from the program itself");
   }
+  if (strategy_ == DistributionStrategy::kNone) {
+    return InvalidArgument(
+        "a module target needs a distribution strategy (DistributeChecks, "
+        "DistributeSanitizers or DistributeUbsanSubSanitizers)");
+  }
+  if (strategy_ == DistributionStrategy::kCheck && profiling_workload_.empty()) {
+    return InvalidArgument("check distribution on a module requires ProfilingWorkload()");
+  }
 
-  core::Options options;
-  options.n_variants = n_variants_;
-  options.partition = partition_options_;
-  options.interpreter_fuel = interpreter_fuel_;
+  // The expensive half: instrument + profile + partition + slice. Runs once
+  // per IrCacheKey() when an IrSystemCache is attached.
+  auto build_system = [this]() -> StatusOr<std::shared_ptr<const core::IrNvxSystem>> {
+    core::Options options;
+    options.n_variants = n_variants_;
+    options.partition = partition_options_;
+    options.interpreter_fuel = interpreter_fuel_;
 
-  StatusOr<core::IrNvxSystem> system = InvalidArgument("unreachable");
-  bool has_check_plan = false;
-  switch (strategy_) {
-    case DistributionStrategy::kNone:
-      return InvalidArgument(
-          "a module target needs a distribution strategy (DistributeChecks, "
-          "DistributeSanitizers or DistributeUbsanSubSanitizers)");
-    case DistributionStrategy::kCheck:
-      if (profiling_workload_.empty()) {
-        return InvalidArgument("check distribution on a module requires ProfilingWorkload()");
-      }
-      system = core::IrNvxSystem::CreateCheckDistributed(*module_, check_sanitizer_,
-                                                         profiling_workload_, options);
-      has_check_plan = true;
-      break;
-    case DistributionStrategy::kSanitizer:
-      system = core::IrNvxSystem::CreateSanitizerDistributed(*module_, sanitizers_, options);
-      break;
-    case DistributionStrategy::kUbsanSub:
-      system = core::IrNvxSystem::CreateUbsanDistributed(*module_, options);
-      break;
+    StatusOr<core::IrNvxSystem> system = InvalidArgument("unreachable");
+    switch (strategy_) {
+      case DistributionStrategy::kNone:
+        return InvalidArgument("unreachable: rejected above");
+      case DistributionStrategy::kCheck:
+        system = core::IrNvxSystem::CreateCheckDistributed(*module_, check_sanitizer_,
+                                                           profiling_workload_, options);
+        break;
+      case DistributionStrategy::kSanitizer:
+        system = core::IrNvxSystem::CreateSanitizerDistributed(*module_, sanitizers_, options);
+        break;
+      case DistributionStrategy::kUbsanSub:
+        system = core::IrNvxSystem::CreateUbsanDistributed(*module_, options);
+        break;
+    }
+    if (!system.ok()) {
+      return system.status();
+    }
+    return std::shared_ptr<const core::IrNvxSystem>(
+        std::make_shared<const core::IrNvxSystem>(std::move(*system)));
+  };
+
+  StatusOr<std::shared_ptr<const core::IrNvxSystem>> system = InvalidArgument("unreachable");
+  if (ir_cache_ != nullptr) {
+    StatusOr<std::string> key = IrCacheKey();
+    if (!key.ok()) {
+      return key.status();
+    }
+    bool hit = false;
+    system = ir_cache_->GetOrBuild(*key, build_system, &hit);
+    if (observer_.on_plan_cache) {
+      observer_.on_plan_cache(*key, hit);
+    }
+    if (telemetry != nullptr) {
+      telemetry->from_cache = hit;
+      std::shared_ptr<IrSystemCache> cache = ir_cache_;
+      telemetry->stats_fn = [cache] { return cache->stats(); };
+    }
+  } else {
+    system = build_system();
   }
   if (!system.ok()) {
     return system.status();
   }
 
+  const bool has_check_plan = strategy_ == DistributionStrategy::kCheck;
   std::vector<std::string> labels;
-  for (size_t v = 0; v < system->n_variants(); ++v) {
-    if (!system->sanitizer_groups().empty()) {
-      labels.push_back(JoinNames(system->sanitizer_groups()[v]));
+  for (size_t v = 0; v < (*system)->n_variants(); ++v) {
+    if (!(*system)->sanitizer_groups().empty()) {
+      labels.push_back(JoinNames((*system)->sanitizer_groups()[v]));
     } else {
       labels.push_back(std::string(san::SanitizerName(check_sanitizer_)) + "-checks/v" +
                        std::to_string(v));
@@ -803,7 +875,182 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend() const {
                                                 std::move(labels)));
 }
 
+// The planning inputs as a plan with no strategy output: enough for
+// CacheKey(), shared by PlanCacheKey() (pre-planning lookup) and PlanBase().
+VariantPlan NvxBuilder::SkeletonPlan() const {
+  VariantPlan plan;
+  plan.benchmark = benchmark_;
+  plan.server = server_;
+  plan.strategy = strategy_;
+  plan.seed = seed_;
+  plan.measure_standalone = measure_standalone_;
+  plan.requested_variants = n_variants_;
+  plan.check_sanitizer = check_sanitizer_;
+  plan.sanitizers = sanitizers_;
+  plan.partition_options = partition_options_;
+  plan.engine_config = engine_config_;
+  plan.engine_config.cache_sensitivity = cache_sensitivity_.value_or(
+      benchmark_.has_value() ? benchmark_->cache_sensitivity : 1.0);
+  return plan;
+}
+
+StatusOr<std::string> NvxBuilder::PlanCacheKey() const {
+  Status valid = ValidateTarget();
+  if (!valid.ok()) {
+    return valid;
+  }
+  if (module_ != nullptr) {
+    return InvalidArgument(
+        "PlanCacheKey() requires a trace target (Benchmark/Server); module targets use "
+        "IrCacheKey()");
+  }
+  if (server_.has_value() && strategy_ != DistributionStrategy::kNone) {
+    return InvalidArgument("server targets support identical clones only (no distribution)");
+  }
+  // The skeleton's key IS the base plan's key: CacheKey() reads planning
+  // inputs only, never the derived specs (planning is deterministic).
+  return SkeletonPlan().CacheKey();
+}
+
+StatusOr<std::string> NvxBuilder::IrCacheKey() const {
+  if (module_ == nullptr) {
+    return InvalidArgument("IrCacheKey() requires a Module() target");
+  }
+  if (strategy_ == DistributionStrategy::kNone) {
+    return InvalidArgument(
+        "a module target needs a distribution strategy before it has a cache identity");
+  }
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(core::StructuralHash(*module_)));
+  std::string key = "ir:";
+  key += hash;
+  key += "|";
+  key += DistributionStrategyName(strategy_);
+  key += "|n=" + std::to_string(n_variants_);
+  key += "|fuel=" + std::to_string(interpreter_fuel_);
+  AppendPartitionOptionsKey(&key, partition_options_);
+  if (strategy_ == DistributionStrategy::kCheck) {
+    key += "|san=";
+    key += san::SanitizerName(check_sanitizer_);
+    // The profiling workload drives the overhead profile and therefore the
+    // check partition: every run's entry and arguments are part of the key.
+    key += "|prof=" + std::to_string(profiling_workload_.size());
+    for (const auto& run : profiling_workload_) {
+      key += "|";
+      AppendCacheKeyComponent(&key, run.entry);
+      key += "(";
+      for (int64_t arg : run.args) {
+        key += std::to_string(arg) + ",";
+      }
+      key += ")";
+    }
+  } else if (strategy_ == DistributionStrategy::kSanitizer) {
+    AppendSanitizerListKey(&key, sanitizers_);
+  }
+  return key;
+}
+
+Status NvxBuilder::ValidateInjections(size_t n_specs) const {
+  for (const auto& injection : detect_injections_) {
+    if (injection.variant >= n_specs) {
+      return InvalidArgument("InjectDetection() variant index " +
+                             std::to_string(injection.variant) + " out of range (have " +
+                             std::to_string(n_specs) + " variants)");
+    }
+  }
+  for (const auto& injection : diverge_injections_) {
+    if (injection.variant >= n_specs) {
+      return InvalidArgument("InjectDivergence() variant index " +
+                             std::to_string(injection.variant) + " out of range (have " +
+                             std::to_string(n_specs) + " variants)");
+    }
+  }
+  return Status::Ok();
+}
+
+// Attack splices ride on top of the shared base plan: validated here, then
+// either the base is returned untouched (clean session — the common case,
+// zero copies) or one copy is taken and stamped. Cached entries therefore
+// stay injection-free and every attack scenario of one configuration shares
+// one cache slot.
+StatusOr<std::shared_ptr<const VariantPlan>> NvxBuilder::OverlayInjections(
+    std::shared_ptr<const VariantPlan> base) const {
+  Status valid = ValidateInjections(base->specs.size());
+  if (!valid.ok()) {
+    return valid;
+  }
+  if (detect_injections_.empty() && diverge_injections_.empty()) {
+    return base;
+  }
+  auto overlaid = std::make_shared<VariantPlan>(*base);
+  overlaid->detect_injections = detect_injections_;
+  overlaid->diverge_injections = diverge_injections_;
+  return std::shared_ptr<const VariantPlan>(std::move(overlaid));
+}
+
+StatusOr<std::shared_ptr<const VariantPlan>> NvxBuilder::ResolveSharedPlan(
+    CacheTelemetry* telemetry) const {
+  if (plan_cache_ != nullptr) {
+    StatusOr<std::string> key = PlanCacheKey();
+    if (!key.ok()) {
+      return key.status();
+    }
+    bool hit = false;
+    StatusOr<std::shared_ptr<const VariantPlan>> base =
+        plan_cache_->GetOrPlan(*key, [this] { return PlanBase(); }, &hit);
+    if (observer_.on_plan_cache) {
+      observer_.on_plan_cache(*key, hit);
+    }
+    if (telemetry != nullptr) {
+      telemetry->from_cache = hit;
+      std::shared_ptr<PlanCache> cache = plan_cache_;
+      telemetry->stats_fn = [cache] { return cache->stats(); };
+    }
+    if (!base.ok()) {
+      return base.status();
+    }
+    return OverlayInjections(std::move(*base));
+  }
+
+  StatusOr<VariantPlan> plan = PlanBase();
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  Status valid = ValidateInjections(plan->specs.size());
+  if (!valid.ok()) {
+    return valid;
+  }
+  plan->detect_injections = detect_injections_;
+  plan->diverge_injections = diverge_injections_;
+  return std::shared_ptr<const VariantPlan>(
+      std::make_shared<const VariantPlan>(std::move(*plan)));
+}
+
 StatusOr<VariantPlan> NvxBuilder::PlanVariants() const {
+  if (plan_cache_ == nullptr) {
+    // Fast path: plan, stamp injections, and move the value out — no
+    // shared_ptr round-trip, no extra copy.
+    StatusOr<VariantPlan> plan = PlanBase();
+    if (!plan.ok()) {
+      return plan;
+    }
+    Status valid = ValidateInjections(plan->specs.size());
+    if (!valid.ok()) {
+      return valid;
+    }
+    plan->detect_injections = detect_injections_;
+    plan->diverge_injections = diverge_injections_;
+    return plan;
+  }
+  StatusOr<std::shared_ptr<const VariantPlan>> shared = ResolveSharedPlan(nullptr);
+  if (!shared.ok()) {
+    return shared.status();
+  }
+  return **shared;  // cached entries are shared — callers get a copy
+}
+
+StatusOr<VariantPlan> NvxBuilder::PlanBase() const {
   Status valid = ValidateTarget();
   if (!valid.ok()) {
     return valid;
@@ -817,15 +1064,7 @@ StatusOr<VariantPlan> NvxBuilder::PlanVariants() const {
     return InvalidArgument("server targets support identical clones only (no distribution)");
   }
 
-  VariantPlan plan;
-  plan.benchmark = benchmark_;
-  plan.server = server_;
-  plan.strategy = strategy_;
-  plan.seed = seed_;
-  plan.measure_standalone = measure_standalone_;
-  plan.engine_config = engine_config_;
-  plan.engine_config.cache_sensitivity = cache_sensitivity_.value_or(
-      benchmark_.has_value() ? benchmark_->cache_sensitivity : 1.0);
+  VariantPlan plan = SkeletonPlan();
 
   std::vector<workload::VariantSpec>& specs = plan.specs;
   std::vector<std::string>& labels = plan.labels;
@@ -943,23 +1182,6 @@ StatusOr<VariantPlan> NvxBuilder::PlanVariants() const {
       break;
     }
   }
-
-  for (const auto& injection : detect_injections_) {
-    if (injection.variant >= specs.size()) {
-      return InvalidArgument("InjectDetection() variant index " +
-                             std::to_string(injection.variant) + " out of range (have " +
-                             std::to_string(specs.size()) + " variants)");
-    }
-  }
-  for (const auto& injection : diverge_injections_) {
-    if (injection.variant >= specs.size()) {
-      return InvalidArgument("InjectDivergence() variant index " +
-                             std::to_string(injection.variant) + " out of range (have " +
-                             std::to_string(specs.size()) + " variants)");
-    }
-  }
-  plan.detect_injections = detect_injections_;
-  plan.diverge_injections = diverge_injections_;
 
   return plan;
 }

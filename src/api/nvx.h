@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/api/plan.h"
+#include "src/api/plan_cache.h"
 #include "src/core/bunshin.h"
 #include "src/distribution/distribution.h"
 #include "src/ir/ir.h"
@@ -120,6 +121,15 @@ struct RunReport {
   double avg_syscall_gap = 0.0;
   uint64_t max_syscall_gap = 0;
 
+  // Plan-cache telemetry, stamped by the session (not the backend) on every
+  // run of a session built through WithPlanCache()/WithIrCache():
+  // plan_from_cache says whether this session's Build() reused a cached
+  // plan/system, and plan_cache snapshots the store's counters at run time.
+  // Absent (false/nullopt) on uncached sessions; Merge leaves both alone
+  // because stamping happens above the shard seam.
+  bool plan_from_cache = false;
+  std::optional<PlanCacheStats> plan_cache;
+
   // Merges the partial reports of shard executions back into one session
   // report over `n_variants` global variant slots. Semantics:
   //   * outcome lattice: Detection > Divergence > Clean. Among incidents of
@@ -166,6 +176,11 @@ struct PartialReport {
 struct Observer {
   std::function<void(size_t variant, double finish_time)> on_variant_finish;
   std::function<void(const RunReport& report)> on_incident;
+  // Build-time hook, outside the run sequencing above: fired once per
+  // Build()/BuildAsync()/PlanVariants() that consulted a plan or IR-system
+  // cache, with the cache key and whether it hit. Called on the building
+  // thread, before the session exists — not under the delivery lock.
+  std::function<void(const std::string& key, bool hit)> on_plan_cache;
 };
 
 // ---------------------------------------------------------------------------
@@ -242,6 +257,14 @@ class NvxSession {
     observer_ = std::move(observer);
   }
 
+  // Installed by NvxBuilder when the session's plan came through a cache:
+  // every report gets plan_from_cache plus a fresh stats snapshot from
+  // `stats_fn` (type-erased so the session is cache-type agnostic).
+  void SetCacheTelemetry(std::function<PlanCacheStats()> stats_fn, bool from_cache) {
+    cache_stats_fn_ = std::move(stats_fn);
+    plan_from_cache_ = from_cache;
+  }
+
   const char* backend_name() const { return backend_->name(); }
   size_t n_variants() const { return backend_->n_variants(); }
   const std::vector<std::string>& variant_labels() const { return backend_->variant_labels(); }
@@ -260,6 +283,9 @@ class NvxSession {
   // Serializes observer delivery across concurrently completing runs (held
   // by pointer so the session stays movable).
   std::unique_ptr<std::mutex> observer_mu_;
+  // Plan-cache telemetry stamped onto every report (see SetCacheTelemetry).
+  std::function<PlanCacheStats()> cache_stats_fn_;
+  bool plan_from_cache_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -309,6 +335,18 @@ class NvxBuilder {
   NvxBuilder& MeasureStandalone(bool measure = true);
   NvxBuilder& InterpreterFuel(uint64_t fuel);
   NvxBuilder& SetObserver(Observer observer);
+  // Session batching (trace targets): Build()/PlanVariants() consult `cache`
+  // under PlanCacheKey() instead of re-planning. Only the base
+  // (injection-free) plan is cached; InjectDetection/InjectDivergence are
+  // applied as a cheap copy-on-write overlay of the shared entry, so attack
+  // scenarios do not fragment the cache. Sessions built from a cached plan
+  // are bit-identical to uncached ones (planning is deterministic).
+  NvxBuilder& WithPlanCache(std::shared_ptr<PlanCache> cache);
+  // IR analogue: Build() on a Module() target reuses built IrNvxSystem
+  // state (instrumentation, profiling, partitioning, slicing) keyed by
+  // IrCacheKey(). The module is hashed structurally, so an edited module
+  // never matches a stale entry.
+  NvxBuilder& WithIrCache(std::shared_ptr<IrSystemCache> cache);
   // Run sessions on a pool of n_workers threads (0 = hardware concurrency).
   // Build() then returns a session whose Run() executes on a worker, and
   // BuildAsync() sizes the session's own pool with it.
@@ -330,7 +368,17 @@ class NvxBuilder {
   // distribution output, injections, resolved engine config. Backends (and
   // all shards of one session) consume one plan without re-profiling or
   // re-partitioning, and plan.CacheKey() is the session-batching cache key.
+  // With WithPlanCache() set this consults the cache too.
   StatusOr<VariantPlan> PlanVariants() const;
+
+  // The key Build()/PlanVariants() consult the plan cache under: the base
+  // (injection-free) plan's CacheKey(), computed from the builder's
+  // configuration without planning. Trace targets only.
+  StatusOr<std::string> PlanCacheKey() const;
+  // The IrSystemCache key for a Module() target: the module's structural
+  // hash plus everything that shapes variant construction (strategy and its
+  // parameters, n, partition options, profiling workload, fuel).
+  StatusOr<std::string> IrCacheKey() const;
 
   // Async variant of Build(): a session exposing Submit() -> RunHandle plus
   // completion-queue delivery (src/api/async.h). Pass a shared pool to run
@@ -340,13 +388,32 @@ class NvxBuilder {
       std::shared_ptr<support::ThreadPool> pool = nullptr) const;
 
  private:
-  StatusOr<std::unique_ptr<Backend>> BuildIrBackend() const;
+  // How Build() resolved the session's plan/system: filled by the backend
+  // builders, consumed by Build()/BuildAsync() to stamp session telemetry.
+  struct CacheTelemetry {
+    bool from_cache = false;
+    std::function<PlanCacheStats()> stats_fn;  // null when no cache consulted
+  };
+
+  StatusOr<std::unique_ptr<Backend>> BuildIrBackend(CacheTelemetry* telemetry) const;
   // Validation + backend construction shared by Build()/BuildAsync(). When
   // sharding is enabled the sharded backend dispatches onto `shard_pool`;
   // `backend_owns_pool` must be false when the backend may be destroyed on
   // a pool worker (the AsyncNvxSession composition — see shard.h).
   StatusOr<std::unique_ptr<Backend>> BuildBackend(
-      const std::shared_ptr<support::ThreadPool>& shard_pool, bool backend_owns_pool) const;
+      const std::shared_ptr<support::ThreadPool>& shard_pool, bool backend_owns_pool,
+      CacheTelemetry* telemetry) const;
+  // The planning inputs as a VariantPlan with no strategy output: what
+  // PlanCacheKey() hashes and PlanBase() starts from.
+  VariantPlan SkeletonPlan() const;
+  // Plans the base (injection-free) variant set.
+  StatusOr<VariantPlan> PlanBase() const;
+  Status ValidateInjections(size_t n_specs) const;
+  // The shared plan a trace backend consumes: through the cache (base plan +
+  // injection overlay) when WithPlanCache() is set, fresh otherwise.
+  StatusOr<std::shared_ptr<const VariantPlan>> ResolveSharedPlan(CacheTelemetry* telemetry) const;
+  StatusOr<std::shared_ptr<const VariantPlan>> OverlayInjections(
+      std::shared_ptr<const VariantPlan> base) const;
   // The pool shared by AsyncBackend and ShardedBackend — the single home of
   // the sizing rule (Async(n) workers, clamped to >= 2 when sharding).
   // Returns null when neither layer is enabled, unless `always` (BuildAsync
@@ -376,6 +443,8 @@ class NvxBuilder {
   std::optional<size_t> async_workers_;  // set by Async(); 0 = hw concurrency
   std::optional<size_t> shards_;         // set by Shards()
   Observer observer_;
+  std::shared_ptr<PlanCache> plan_cache_;
+  std::shared_ptr<IrSystemCache> ir_cache_;
 };
 
 }  // namespace api

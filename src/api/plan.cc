@@ -1,5 +1,7 @@
 #include "src/api/plan.h"
 
+#include <cstdio>
+
 #include "src/support/enum_name.h"
 
 namespace bunshin {
@@ -15,55 +17,106 @@ const char* DistributionStrategyName(DistributionStrategy strategy) {
   return support::EnumName(kNames, strategy);
 }
 
+std::string CacheKeyDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void AppendCacheKeyComponent(std::string* key, const std::string& component) {
+  *key += std::to_string(component.size());
+  *key += ':';
+  *key += component;
+}
+
+void AppendPartitionOptionsKey(std::string* key, const partition::PartitionOptions& options) {
+  *key += "|part=";
+  *key += partition::AlgorithmName(options.algorithm);
+  *key += "/";
+  *key += std::to_string(options.max_nodes);
+  *key += "/";
+  *key += CacheKeyDouble(options.epsilon);
+}
+
+void AppendSanitizerListKey(std::string* key, const std::vector<san::SanitizerId>& sanitizers) {
+  *key += "|sans=" + std::to_string(sanitizers.size());
+  for (san::SanitizerId id : sanitizers) {
+    *key += ",";
+    *key += san::SanitizerName(id);
+  }
+}
+
 std::string VariantPlan::CacheKey() const {
-  // Target identity must include the trace-shaping knobs, not just the
-  // name: a custom BenchmarkSpec/ServerSpec may reuse a catalog name with
-  // a different shape, and those fields drive trace generation directly.
+  // Target identity: the name (length-prefixed — names are free-form) plus
+  // every knob that drives trace generation or planning. The sanitizer
+  // overhead table and the profile-shape fields matter too: a custom spec
+  // may reuse a catalog name with different calibration, and those values
+  // feed straight into per-variant compute scales.
   std::string key;
   if (benchmark.has_value()) {
-    key = "bench:" + benchmark->name + "/" + std::to_string(benchmark->total_compute) + "/" +
-          std::to_string(benchmark->n_syscalls) + "/" + std::to_string(benchmark->threads) +
-          "/" + std::to_string(benchmark->barriers) + "/" +
-          std::to_string(benchmark->io_write_frac) + "/" +
-          std::to_string(benchmark->locks_per_kilo) + "/" +
-          std::to_string(benchmark->noise_rel_sigma);
+    key = "bench:";
+    AppendCacheKeyComponent(&key, benchmark->name);
+    key += "/" + std::to_string(benchmark->n_functions) + "/" +
+           CacheKeyDouble(benchmark->hottest_share) + "/" +
+           CacheKeyDouble(benchmark->func_rate_sigma) + "/" +
+           CacheKeyDouble(benchmark->total_compute) + "/" +
+           std::to_string(benchmark->n_syscalls) + "/" +
+           CacheKeyDouble(benchmark->io_write_frac) + "/" +
+           CacheKeyDouble(benchmark->noise_rel_sigma) + "/" +
+           std::to_string(benchmark->threads) + "/" +
+           CacheKeyDouble(benchmark->locks_per_kilo) + "/" +
+           std::to_string(benchmark->barriers);
+    key += "/ovh=" + CacheKeyDouble(benchmark->overheads.asan) + "/" +
+           CacheKeyDouble(benchmark->overheads.msan) + "/" +
+           CacheKeyDouble(benchmark->overheads.ubsan) + "/" +
+           (benchmark->overheads.msan_supported ? "1" : "0");
   } else if (server.has_value()) {
-    key = "server:" + server->name + "/" + std::to_string(server->threads) + "/" +
-          std::to_string(server->requests) + "/" + std::to_string(server->file_kb) + "/" +
-          std::to_string(server->concurrency) + "/" + std::to_string(server->noise_rel_sigma);
+    key = "server:";
+    AppendCacheKeyComponent(&key, server->name);
+    key += "/" + std::to_string(server->threads) + "/" + std::to_string(server->requests) +
+           "/" + std::to_string(server->file_kb) + "/" + std::to_string(server->concurrency) +
+           "/" + CacheKeyDouble(server->noise_rel_sigma);
   } else {
     key = "none";
   }
   key += "|";
   key += DistributionStrategyName(strategy);
-  key += "|n=" + std::to_string(specs.size());
+  // Strategy parameters (only the ones the active strategy consumes, so a
+  // stale knob left over from builder reuse cannot split the key).
+  if (strategy == DistributionStrategy::kCheck) {
+    key += "|san=";
+    key += san::SanitizerName(check_sanitizer);
+    AppendPartitionOptionsKey(&key, partition_options);
+  } else if (strategy == DistributionStrategy::kSanitizer) {
+    AppendSanitizerListKey(&key, sanitizers);
+  }
+  key += "|n=" + std::to_string(requested_variants != 0 ? requested_variants : specs.size());
   key += "|seed=" + std::to_string(seed);
   key += "|mode=";
   key += nxe::LockstepModeName(engine_config.mode);
   key += "|ring=" + std::to_string(engine_config.ring_capacity);
   // Everything the reports' timing depends on: LLC sensitivity and the full
   // cost/hardware model.
-  key += "|llc=" + std::to_string(engine_config.cache_sensitivity);
+  key += "|llc=" + CacheKeyDouble(engine_config.cache_sensitivity);
   const nxe::CostModel& cost = engine_config.cost;
-  key += "|cost=" + std::to_string(cost.kernel_syscall) + "/" + std::to_string(cost.trap_hook) +
-         "/" + std::to_string(cost.sync_slot) + "/" + std::to_string(cost.result_fetch) + "/" +
-         std::to_string(cost.wait_wakeup) + "/" + std::to_string(cost.synccall) + "/" +
-         std::to_string(cost.lock_primitive) + "/" + std::to_string(cost.cores) + "/" +
-         std::to_string(cost.llc_alpha) + "/" + std::to_string(cost.llc_exponent) + "/" +
-         std::to_string(cost.background_load) + "/" + std::to_string(cost.load_wait_coeff);
+  key += "|cost=" + CacheKeyDouble(cost.kernel_syscall) + "/" + CacheKeyDouble(cost.trap_hook) +
+         "/" + CacheKeyDouble(cost.sync_slot) + "/" + CacheKeyDouble(cost.result_fetch) + "/" +
+         CacheKeyDouble(cost.wait_wakeup) + "/" + CacheKeyDouble(cost.synccall) + "/" +
+         CacheKeyDouble(cost.lock_primitive) + "/" + std::to_string(cost.cores) + "/" +
+         CacheKeyDouble(cost.llc_alpha) + "/" + CacheKeyDouble(cost.llc_exponent) + "/" +
+         CacheKeyDouble(cost.background_load) + "/" + CacheKeyDouble(cost.load_wait_coeff);
   if (measure_standalone) {
     key += "|standalone";
   }
-  // Per-variant sanitizer load distinguishes strategies that land on the
-  // same (name, n) but different groupings.
-  for (const auto& spec : specs) {
-    key += "|" + spec.name + "@" + std::to_string(spec.compute_scale);
-  }
+  // Attack overlays last: the cacheable base plan has none, so its key is
+  // the shared prefix every injected session looks up the cache under.
   for (const auto& injection : detect_injections) {
-    key += "|det" + std::to_string(injection.variant) + ":" + injection.detector;
+    key += "|det" + std::to_string(injection.variant) + ":";
+    AppendCacheKeyComponent(&key, injection.detector);
   }
   for (const auto& injection : diverge_injections) {
-    key += "|div" + std::to_string(injection.variant) + ":" + injection.payload;
+    key += "|div" + std::to_string(injection.variant) + ":";
+    AppendCacheKeyComponent(&key, injection.payload);
   }
   return key;
 }

@@ -22,6 +22,8 @@
 
 #include "src/distribution/distribution.h"
 #include "src/nxe/engine.h"
+#include "src/partition/partition.h"
+#include "src/sanitizer/sanitizer.h"
 #include "src/workload/tracegen.h"
 #include "src/workload/workload.h"
 
@@ -64,6 +66,16 @@ struct VariantPlan {
   uint64_t seed = 42;
   bool measure_standalone = false;
 
+  // Planning inputs that shape the strategy output below. Planning is
+  // deterministic, so these (plus the target and engine config) fully
+  // determine the specs — which is what lets CacheKey() identify the plan
+  // without re-running profile synthesis or partitioning, and lets
+  // NvxBuilder::PlanCacheKey() compute the key before planning at all.
+  size_t requested_variants = 0;  // n as asked for (kSanitizer may clamp specs)
+  san::SanitizerId check_sanitizer = san::SanitizerId::kASan;  // kCheck
+  std::vector<san::SanitizerId> sanitizers;                    // kSanitizer
+  partition::PartitionOptions partition_options;               // kCheck
+
   // Engine configuration with cache_sensitivity already resolved. Backends
   // running a variant subset must still set contention_variants to
   // n_variants() so a shard models session-wide LLC/core pressure.
@@ -82,11 +94,32 @@ struct VariantPlan {
   size_t n_variants() const { return specs.size(); }
 
   // Identifies everything that determines this plan's content: two builders
-  // whose plans share a key plan identically, so the key is what a session
-  // batcher caches plans under (the ROADMAP's "module hash/strategy/n" item;
-  // trace targets are identified by name + shape-defining knobs).
+  // whose plans share a key plan identically, so the key is what PlanCache
+  // stores plans under. The key is a pure function of the planning inputs
+  // (target shape + sanitizer overhead table, strategy + its parameters,
+  // n, seed, engine config) — never of the derived specs — so it can be
+  // computed without planning (NvxBuilder::PlanCacheKey()). Injection
+  // components come last: a base (injection-free) plan's key is the prefix
+  // every attack overlay of it shares. Every free-form string is
+  // length-prefixed and every double round-trip-exact, so neither crafted
+  // names nor sub-1e-6 deltas can alias two distinct configurations.
   std::string CacheKey() const;
 };
+
+// Key-building helpers shared by VariantPlan::CacheKey() and the IR-module
+// cache key (NvxBuilder::IrCacheKey). Exposed for tests.
+//
+// to_string's fixed 6-decimal formatting aliased distinct doubles (any
+// sub-1e-6 delta, e.g. noise_rel_sigma 1e-7 vs 2e-7 both printed
+// "0.000000"); %.17g round-trips IEEE-754 doubles exactly.
+std::string CacheKeyDouble(double value);
+// Appends `component` length-prefixed ("<len>:<bytes>") so a free-form name
+// containing the key's separators cannot alias across field boundaries.
+void AppendCacheKeyComponent(std::string* key, const std::string& component);
+// Strategy-parameter fragments encoded identically in both keys (one
+// encoding, so the trace and IR keys cannot drift apart field-by-field).
+void AppendPartitionOptionsKey(std::string* key, const partition::PartitionOptions& options);
+void AppendSanitizerListKey(std::string* key, const std::vector<san::SanitizerId>& sanitizers);
 
 }  // namespace api
 }  // namespace bunshin
