@@ -112,7 +112,11 @@ struct RunReport {
   // backend produced no (positive) baseline — never a silent 0.0.
   StatusOr<double> Overhead() const;
 
-  // Telemetry.
+  // Telemetry. Trace-backend fields are copied verbatim from the engine's
+  // SyncReport, whose values are scheduler-implementation independent: the
+  // event-driven nxe::Engine::Run is property-tested bit-identical to the
+  // retained reference scheduler (Engine::RunReference), so none of these
+  // fields depend on which scheduler path executed the session.
   uint64_t synced_syscalls = 0;
   uint64_t ignored_syscalls = 0;  // sanitizer-introduced, filtered
   uint64_t lockstep_barriers = 0;

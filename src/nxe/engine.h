@@ -142,7 +142,24 @@ class Engine {
 
   // Synchronizes N variants (variants[0] is the leader). All variants must
   // have the same thread count.
+  //
+  // Run() is an event-driven scheduler: per-park-type readiness indices
+  // (sync-point arrival counters, ring-slot waiter lists, live-thread
+  // counters) re-examine only the threads whose dependency actually changed
+  // when a thread parks or a slot publishes, so per-event cost is bounded by
+  // the event's participant set — not by rounds x variants x threads. Its
+  // observable contract is frozen: the SyncReport (outcomes, clocks, gaps,
+  // counters — every field, bit for bit) is identical to RunReference()'s,
+  // enforced by the randomized equivalence suite in
+  // tests/engine_property_test.cc.
   StatusOr<SyncReport> Run(const std::vector<VariantTrace>& variants) const;
+
+  // The retained round-based reference scheduler (the pre-event-driven
+  // Run): a fixpoint loop that re-scans all variants x threads per progress
+  // step. Semantically identical to Run() and kept only as the equivalence
+  // oracle for property tests and as the baseline for
+  // bench/micro_engine_hotpath. Do not use on hot paths.
+  StatusOr<SyncReport> RunReference(const std::vector<VariantTrace>& variants) const;
 
   // Runs a single trace without any engine machinery: the reference time the
   // overhead figures are computed against. A firing sanitizer check aborts
