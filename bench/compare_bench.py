@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_engine.json files and fail on perf regressions.
+
+CI runs the engine hot-path microbench on every push and uploads
+BENCH_engine.json as an artifact. This comparator pulls the previous run's
+artifact and fails the job when any row's ns_per_event regressed by more
+than the threshold (default 10%), so scheduler slowdowns are caught at the
+PR that introduces them instead of drifting in silently.
+
+Rows are keyed by (workload, mode, n_variants). Rows present only in the
+baseline (a shape the bench no longer measures) or only in the current run
+(a newly added shape) are reported but never fail the comparison — only a
+measured same-shape slowdown does.
+
+  $ bench/compare_bench.py baseline.json current.json
+  $ bench/compare_bench.py --threshold 0.10 baseline.json current.json
+  $ bench/compare_bench.py --allow-missing-baseline missing.json current.json
+  $ bench/compare_bench.py --self-test
+
+stdlib only; exit 0 = no regression, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Return {(workload, mode, n_variants): row_dict} from a bench JSON."""
+    with open(path, "r", encoding="utf-8") as fp:
+        data = json.load(fp)
+    rows = {}
+    for row in data.get("rows", []):
+        key = (row["workload"], row["mode"], int(row["n_variants"]))
+        rows[key] = row
+    return rows
+
+
+def compare(baseline, current, threshold):
+    """Compare row maps; return (regressions, lines) where lines is a report."""
+    regressions = []
+    lines = []
+    for key in sorted(current.keys()):
+        label = "{}/{}/n={}".format(*key)
+        if key not in baseline:
+            lines.append("  NEW    {}: ns/event {:.2f} (no baseline row)".format(
+                label, current[key]["ns_per_event"]))
+            continue
+        base_ns = float(baseline[key]["ns_per_event"])
+        cur_ns = float(current[key]["ns_per_event"])
+        if base_ns <= 0.0:
+            lines.append("  SKIP   {}: baseline ns/event {:.2f} not positive".format(
+                label, base_ns))
+            continue
+        delta = (cur_ns - base_ns) / base_ns
+        verdict = "OK"
+        if delta > threshold:
+            verdict = "REGRESS"
+            regressions.append(label)
+        lines.append("  {:<6} {}: ns/event {:.2f} -> {:.2f} ({:+.1%})".format(
+            verdict, label, base_ns, cur_ns, delta))
+    for key in sorted(set(baseline.keys()) - set(current.keys())):
+        lines.append("  GONE   {}/{}/n={}: row dropped from current run".format(*key))
+    return regressions, lines
+
+
+def self_test():
+    """Exercise the comparison logic on synthetic row maps."""
+    base = {
+        ("uniform", "full", 2): {"ns_per_event": 100.0},
+        ("uniform", "full", 4): {"ns_per_event": 100.0},
+        ("skewed", "selective", 2): {"ns_per_event": 50.0},
+        ("gone", "full", 2): {"ns_per_event": 10.0},
+    }
+    cur = {
+        ("uniform", "full", 2): {"ns_per_event": 109.9},   # +9.9%: within threshold
+        ("uniform", "full", 4): {"ns_per_event": 111.0},   # +11%: regression
+        ("skewed", "selective", 2): {"ns_per_event": 40.0},  # improvement
+        ("new", "full", 8): {"ns_per_event": 75.0},        # new shape: never fails
+    }
+    regressions, _ = compare(base, cur, threshold=0.10)
+    assert regressions == ["uniform/full/n=4"], regressions
+    regressions, _ = compare(base, cur, threshold=0.50)
+    assert regressions == [], regressions
+    # A zero baseline row is skipped, not divided by.
+    regressions, _ = compare({("z", "full", 1): {"ns_per_event": 0.0}},
+                             {("z", "full", 1): {"ns_per_event": 5.0}}, 0.10)
+    assert regressions == [], regressions
+    print("self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="previous BENCH_engine.json")
+    parser.add_argument("current", nargs="?", help="this run's BENCH_engine.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed ns/event increase as a fraction (default 0.10)")
+    parser.add_argument("--allow-missing-baseline", action="store_true",
+                        help="exit 0 if the baseline file is absent (first run / expired artifact)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run internal checks of the comparison logic and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required unless --self-test")
+
+    try:
+        baseline = load_rows(args.baseline)
+    except FileNotFoundError:
+        if args.allow_missing_baseline:
+            print("no baseline at {}; skipping comparison".format(args.baseline))
+            return 0
+        print("error: baseline {} not found (use --allow-missing-baseline for first runs)"
+              .format(args.baseline), file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+        print("error: cannot parse baseline {}: {}".format(args.baseline, err), file=sys.stderr)
+        return 2
+    try:
+        current = load_rows(args.current)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+        print("error: cannot parse current {}: {}".format(args.current, err), file=sys.stderr)
+        return 2
+
+    regressions, lines = compare(baseline, current, args.threshold)
+    print("comparing {} baseline rows vs {} current rows (threshold {:+.0%}):".format(
+        len(baseline), len(current), args.threshold))
+    for line in lines:
+        print(line)
+    if regressions:
+        print("FAIL: {} row(s) regressed more than {:.0%} in ns/event: {}".format(
+            len(regressions), args.threshold, ", ".join(regressions)), file=sys.stderr)
+        return 1
+    print("no ns/event regression beyond {:.0%}".format(args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

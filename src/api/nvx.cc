@@ -7,6 +7,7 @@
 
 #include "src/api/async.h"
 #include "src/api/shard.h"
+#include "src/net/remote.h"
 #include "src/support/enum_name.h"
 #include "src/support/thread_pool.h"
 #include "src/workload/funcprofile.h"
@@ -315,6 +316,38 @@ std::string JoinNames(const std::vector<std::string>& names) {
 
 }  // namespace
 
+StatusOr<std::unique_ptr<Backend>> MakeTraceBackend(std::shared_ptr<const VariantPlan> plan,
+                                                    std::vector<size_t> members,
+                                                    bool owns_baseline) {
+  if (plan == nullptr) {
+    return InvalidArgument("MakeTraceBackend: null plan");
+  }
+  if (!plan->benchmark.has_value() && !plan->server.has_value()) {
+    return InvalidArgument("MakeTraceBackend: plan has no target");
+  }
+  if (members.empty()) {
+    return InvalidArgument("MakeTraceBackend: empty member list");
+  }
+  if (members[0] != 0) {
+    return InvalidArgument("MakeTraceBackend: local slot 0 must be the leader (global slot 0)");
+  }
+  std::vector<bool> seen(plan->n_variants(), false);
+  for (size_t global : members) {
+    if (global >= plan->n_variants()) {
+      return InvalidArgument("MakeTraceBackend: member " + std::to_string(global) +
+                             " out of range for a " + std::to_string(plan->n_variants()) +
+                             "-variant plan");
+    }
+    if (seen[global]) {
+      return InvalidArgument("MakeTraceBackend: member " + std::to_string(global) +
+                             " listed twice");
+    }
+    seen[global] = true;
+  }
+  return std::unique_ptr<Backend>(
+      new TraceBackend(std::move(plan), std::move(members), owns_baseline));
+}
+
 const char* NvxOutcomeName(NvxOutcome outcome) {
   static constexpr support::EnumNameEntry kNames[] = {
       {static_cast<int>(NvxOutcome::kOk), "ok"},
@@ -578,6 +611,12 @@ NvxBuilder& NvxBuilder::Shards(size_t k) {
   shards_ = k;
   return *this;
 }
+NvxBuilder& NvxBuilder::Remote(std::vector<net::Endpoint> endpoints, net::RemoteOptions options) {
+  remote_endpoints_ = std::move(endpoints);
+  remote_options_ = options;
+  remote_ = true;
+  return *this;
+}
 NvxBuilder& NvxBuilder::Lockstep(nxe::LockstepMode mode) {
   engine_config_.mode = mode;
   return *this;
@@ -663,6 +702,19 @@ Status NvxBuilder::ValidateTarget() const {
           "sessions only");
     }
   }
+  if (remote_) {
+    if (remote_endpoints_.empty()) {
+      return InvalidArgument("Remote() requires at least one executor endpoint");
+    }
+    if (module_ != nullptr) {
+      return InvalidArgument(
+          "Remote() requires a trace target (Benchmark/Server); only VariantPlans travel the "
+          "wire");
+    }
+    if (remote_options_.timeout_ms <= 0 || remote_options_.max_attempts <= 0) {
+      return InvalidArgument("RemoteOptions: timeout_ms and max_attempts must be >= 1");
+    }
+  }
   return Status::Ok();
 }
 
@@ -697,6 +749,18 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
   }
   std::shared_ptr<const VariantPlan> shared = std::move(*resolved);
 
+  if (remote_) {
+    // The group count defaults to the fleet size; Shards(k) overrides it so
+    // Remote ≡ Shards(k) equivalence can be tested group-for-group.
+    const size_t k = shards_.value_or(remote_endpoints_.size());
+    if (k == 0) {
+      return InvalidArgument("Remote() requires at least one executor endpoint");
+    }
+    std::vector<std::vector<size_t>> groups = ShardMemberGroups(shared->n_variants(), k);
+    return std::unique_ptr<Backend>(new net::RemoteBackend(
+        std::move(shared), std::move(groups), remote_endpoints_, remote_options_));
+  }
+
   if (!shards_.has_value()) {
     std::vector<size_t> all(shared->n_variants());
     std::iota(all.begin(), all.end(), 0);
@@ -706,20 +770,13 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
 
   // Shard 0 carries the baseline/leader slot; followers are dealt
   // round-robin. Every shard replicates the leader (local slot 0) for
-  // synchronization; groups that would hold only the replica are dropped.
+  // synchronization; groups that would hold only the replica are dropped
+  // (the single home of the rule: ShardMemberGroups, shared with Remote()).
   std::vector<std::unique_ptr<Backend>> shard_backends;
-  for (size_t j = 0; j < *shards_; ++j) {
-    std::vector<size_t> members = {0};
-    for (size_t global = 1; global < shared->n_variants(); ++global) {
-      if ((global - 1) % *shards_ == j) {
-        members.push_back(global);
-      }
-    }
-    if (j > 0 && members.size() == 1) {
-      continue;  // empty shard: more shards requested than followers exist
-    }
+  std::vector<std::vector<size_t>> groups = ShardMemberGroups(shared->n_variants(), *shards_);
+  for (size_t j = 0; j < groups.size(); ++j) {
     shard_backends.push_back(std::unique_ptr<Backend>(
-        new TraceBackend(shared, std::move(members), /*owns_baseline=*/j == 0)));
+        new TraceBackend(shared, std::move(groups[j]), /*owns_baseline=*/j == 0)));
   }
   return std::unique_ptr<Backend>(new ShardedBackend(std::move(shared), std::move(shard_backends),
                                                      shard_pool, backend_owns_pool));

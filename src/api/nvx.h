@@ -38,6 +38,7 @@
 #include "src/api/plan.h"
 #include "src/api/plan_cache.h"
 #include "src/core/bunshin.h"
+#include "src/net/endpoint.h"
 #include "src/distribution/distribution.h"
 #include "src/ir/ir.h"
 #include "src/nxe/engine.h"
@@ -239,6 +240,14 @@ class Backend {
   }
 };
 
+// A trace backend executing `members` (global slots, [0] must be the leader
+// slot 0) of a shared plan — the unit both the in-process ShardedBackend and
+// a remote executor rebuild from a received plan. Validates plan presence,
+// member shape (non-empty, leader first, in range, no duplicates).
+StatusOr<std::unique_ptr<Backend>> MakeTraceBackend(std::shared_ptr<const VariantPlan> plan,
+                                                    std::vector<size_t> members,
+                                                    bool owns_baseline);
+
 // ---------------------------------------------------------------------------
 // NvxSession: a built N-version system, ready to run.
 // ---------------------------------------------------------------------------
@@ -363,6 +372,14 @@ class NvxBuilder {
   // share one pool, sized by n and clamped to >= 2 workers so the shard
   // dispatcher can never starve its own shards (see support/thread_pool.h).
   NvxBuilder& Shards(size_t k);
+  // Fan the session's shard groups out across executor daemons instead of
+  // in-process engine shards (trace targets only; composes with Shards(k) to
+  // set the group count, default k = number of endpoints). Each Run() ships
+  // the plan (by wire CacheKey, so executors cache decoded plans) plus each
+  // group's member list to an executor chosen by CacheKey affinity, with
+  // per-request timeout and bounded retry to a different executor. Merged
+  // reports are bit-identical to Shards(k) and to the unsharded session.
+  NvxBuilder& Remote(std::vector<net::Endpoint> endpoints, net::RemoteOptions options = {});
 
   // Validates the configuration and constructs the session (and its
   // variants); all configuration errors surface here, not at Run() time.
@@ -446,6 +463,9 @@ class NvxBuilder {
   uint64_t interpreter_fuel_ = 50'000'000;
   std::optional<size_t> async_workers_;  // set by Async(); 0 = hw concurrency
   std::optional<size_t> shards_;         // set by Shards()
+  std::vector<net::Endpoint> remote_endpoints_;  // set by Remote()
+  net::RemoteOptions remote_options_;
+  bool remote_ = false;
   Observer observer_;
   std::shared_ptr<PlanCache> plan_cache_;
   std::shared_ptr<IrSystemCache> ir_cache_;

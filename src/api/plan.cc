@@ -121,5 +121,25 @@ std::string VariantPlan::CacheKey() const {
   return key;
 }
 
+std::vector<std::vector<size_t>> ShardMemberGroups(size_t n_variants, size_t k) {
+  std::vector<std::vector<size_t>> groups;
+  if (k == 0) {
+    return groups;
+  }
+  for (size_t j = 0; j < k; ++j) {
+    std::vector<size_t> members = {0};
+    for (size_t global = 1; global < n_variants; ++global) {
+      if ((global - 1) % k == j) {
+        members.push_back(global);
+      }
+    }
+    if (j > 0 && members.size() == 1) {
+      continue;  // empty group: more shards requested than followers exist
+    }
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
 }  // namespace api
 }  // namespace bunshin

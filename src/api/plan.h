@@ -106,6 +106,15 @@ struct VariantPlan {
   std::string CacheKey() const;
 };
 
+// The session's variant slots dealt into k shard groups — the single home of
+// the grouping rule, shared by ShardedBackend (in-process fan-out) and
+// RemoteBackend (multi-host fan-out) so both dispatchers produce identical
+// partials and bit-identical merged reports. groups[0] owns the baseline;
+// followers are dealt round-robin; every group starts with the leader slot 0
+// (each shard replicates the leader for synchronization); groups that would
+// hold only the replica are dropped.
+std::vector<std::vector<size_t>> ShardMemberGroups(size_t n_variants, size_t k);
+
 // Key-building helpers shared by VariantPlan::CacheKey() and the IR-module
 // cache key (NvxBuilder::IrCacheKey). Exposed for tests.
 //

@@ -1,0 +1,57 @@
+// Executor endpoints and dispatcher options for the multi-host execution
+// plane. This header is deliberately free of api/ dependencies: api/nvx.h
+// includes it so NvxBuilder::Remote() can accept endpoints by value, and the
+// net/ layer includes it from the other side — no cycle.
+#ifndef BUNSHIN_SRC_NET_ENDPOINT_H_
+#define BUNSHIN_SRC_NET_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/support/socket.h"
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace net {
+
+// One executor the dispatcher can reach. `dial` opens a fresh connection —
+// the dispatcher dials per request, so a killed-and-restarted executor is
+// picked up by the next dial with no connection-pool invalidation logic.
+struct Endpoint {
+  std::string name;  // for logs, stats, and deterministic affinity ties
+  std::function<StatusOr<std::unique_ptr<support::Socket>>()> dial;
+};
+
+// A TCP executor at host:port (host must be numeric IPv4).
+inline Endpoint TcpEndpoint(const std::string& host, uint16_t port, int connect_timeout_ms = 5000) {
+  Endpoint endpoint;
+  endpoint.name = host + ":" + std::to_string(port);
+  endpoint.dial = [host, port, connect_timeout_ms] {
+    return support::TcpConnect(host, port, connect_timeout_ms);
+  };
+  return endpoint;
+}
+
+// Dispatcher behavior knobs (NvxBuilder::Remote's second argument).
+struct RemoteOptions {
+  // Per-request deadline: dial + send + the executor's full run + reply.
+  int timeout_ms = 10000;
+  // Attempts per shard group across *different* executors (affinity order).
+  // 1 = no retry. Only transport/decode failures retry; a genuine
+  // executor-side run error is returned as-is — re-running a deterministic
+  // failure elsewhere cannot succeed and would mask real bugs.
+  int max_attempts = 3;
+  // Base backoff between attempts; doubles per retry.
+  int backoff_ms = 10;
+  // How long an endpoint that failed stays deprioritized before the
+  // dispatcher probes it again with real traffic.
+  int unhealthy_cooldown_ms = 1000;
+};
+
+}  // namespace net
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_NET_ENDPOINT_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kAlreadyExists,
+  kUnavailable,        // transient transport failure (peer gone, connection reset)
+  kDeadlineExceeded,   // a configured timeout elapsed before the operation finished
 };
 
 // Human-readable name for a status code (for logs and test failure messages).
@@ -38,6 +40,8 @@ inline const char* StatusCodeName(StatusCode code) {
       {static_cast<int>(StatusCode::kInternal), "INTERNAL"},
       {static_cast<int>(StatusCode::kUnimplemented), "UNIMPLEMENTED"},
       {static_cast<int>(StatusCode::kAlreadyExists), "ALREADY_EXISTS"},
+      {static_cast<int>(StatusCode::kUnavailable), "UNAVAILABLE"},
+      {static_cast<int>(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED"},
   };
   return support::EnumName(kNames, code, "UNKNOWN");
 }
@@ -79,6 +83,12 @@ inline Status OutOfRange(std::string msg) {
 inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
 inline Status AlreadyExists(std::string msg) {
   return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 // StatusOr<T>: either a value or an error Status. Accessing value() on an

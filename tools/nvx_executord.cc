@@ -1,0 +1,74 @@
+// nvx_executord: the standalone executor daemon of the multi-host execution
+// plane. Listens for framed RunRequest messages (src/net/wire.h), rebuilds
+// trace backends from received plans (caching decoded plans by their wire
+// CacheKey), runs the requested shard members on a thread pool, and replies
+// with PartialReports plus occupancy.
+//
+//   nvx_executord --port 7001 --workers 4
+//
+// --port 0 (the default) picks an ephemeral port; the chosen port is printed
+// either way, as the line "nvx_executord listening on port <p>", which the
+// smoke harness parses. The daemon serves until killed.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/net/executor.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--workers N] [--plan-cache C]\n"
+               "  --port P        TCP port to listen on (0 = ephemeral; default 0)\n"
+               "  --workers N     thread-pool size (0 = hardware concurrency; default 0)\n"
+               "  --plan-cache C  decoded-plan cache capacity (default 64)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  bunshin::net::ExecutorOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--port") == 0 && has_value) {
+      port = std::atol(argv[++i]);
+    } else if (std::strcmp(arg, "--workers") == 0 && has_value) {
+      options.n_workers = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(arg, "--plan-cache") == 0 && has_value) {
+      options.plan_cache_capacity = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "nvx_executord: --port must be in [0, 65535]\n");
+    return 2;
+  }
+
+  bunshin::net::ExecutorServer server(options);
+  bunshin::Status status = server.ListenTcp(static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    std::fprintf(stderr, "nvx_executord: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("nvx_executord listening on port %u\n", server.port());
+  std::fflush(stdout);
+
+  // Serve until killed: accepting and serving happen on background threads;
+  // park this one. (SIGTERM/SIGINT default to process exit, which is the
+  // intended shutdown path — the fleet treats an executor as stateless.)
+  sigset_t set;
+  sigemptyset(&set);
+  int sig = 0;
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  sigwait(&set, &sig);
+  return 0;
+}
