@@ -26,14 +26,32 @@ import sys
 
 
 def load_rows(path):
-    """Return {(workload, mode, n_variants): row_dict} from a bench JSON."""
+    """Return {(workload, mode, n_variants): row_dict} from a bench JSON.
+
+    Rows missing a key field (a renamed schema, a truncated artifact) are
+    warned about and skipped — a stale baseline must degrade to "nothing to
+    compare", never crash the job with a KeyError.
+    """
     with open(path, "r", encoding="utf-8") as fp:
         data = json.load(fp)
     rows = {}
-    for row in data.get("rows", []):
-        key = (row["workload"], row["mode"], int(row["n_variants"]))
+    for i, row in enumerate(data.get("rows", [])):
+        try:
+            key = (row["workload"], row["mode"], int(row["n_variants"]))
+        except (KeyError, TypeError, ValueError) as err:
+            print("warning: {} row {}: missing/bad key field ({}); skipped".format(
+                path, i, err), file=sys.stderr)
+            continue
         rows[key] = row
     return rows
+
+
+def row_ns(row):
+    """ns_per_event as float, or None when absent/non-numeric (renamed key)."""
+    try:
+        return float(row["ns_per_event"])
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def compare(baseline, current, threshold):
@@ -42,12 +60,18 @@ def compare(baseline, current, threshold):
     lines = []
     for key in sorted(current.keys()):
         label = "{}/{}/n={}".format(*key)
+        cur_ns = row_ns(current[key])
+        if cur_ns is None:
+            lines.append("  SKIP   {}: current row has no ns_per_event".format(label))
+            continue
         if key not in baseline:
             lines.append("  NEW    {}: ns/event {:.2f} (no baseline row)".format(
-                label, current[key]["ns_per_event"]))
+                label, cur_ns))
             continue
-        base_ns = float(baseline[key]["ns_per_event"])
-        cur_ns = float(current[key]["ns_per_event"])
+        base_ns = row_ns(baseline[key])
+        if base_ns is None:
+            lines.append("  SKIP   {}: baseline row has no ns_per_event".format(label))
+            continue
         if base_ns <= 0.0:
             lines.append("  SKIP   {}: baseline ns/event {:.2f} not positive".format(
                 label, base_ns))
@@ -86,6 +110,13 @@ def self_test():
     regressions, _ = compare({("z", "full", 1): {"ns_per_event": 0.0}},
                              {("z", "full", 1): {"ns_per_event": 5.0}}, 0.10)
     assert regressions == [], regressions
+    # Missing or renamed ns_per_event keys warn and skip, never raise.
+    regressions, lines = compare(
+        {("m", "full", 1): {"ns": 1.0}, ("n", "full", 1): {"ns_per_event": 1.0}},
+        {("m", "full", 1): {"ns_per_event": 99.0}, ("n", "full", 1): {"renamed": 99.0}},
+        0.10)
+    assert regressions == [], regressions
+    assert sum("SKIP" in line for line in lines) == 2, lines
     print("self-test passed")
     return 0
 

@@ -1,0 +1,48 @@
+// Seeded adversarial trace-corpus generator.
+//
+// One deterministic generator of randomized engine sessions, shared by
+// tests/engine_property_test.cc (Run vs RunReference bit-equivalence),
+// tests/analysis_test.cc (analyzer-vs-engine oracle: a "deadlock-free"
+// verdict must never contradict an engine error over the same seeds), and
+// tools/nvx_analyze --seeded (offline corpus linting). Extracted from the
+// property test so every consumer sees byte-identical cases per seed.
+//
+// A case is a leader template whose sync-relevant stream every variant
+// shares, plus variant-local differences (compute scale, jitter,
+// sanitizer-introduced syscalls) and an optional injected incident:
+// detections, argument/payload divergences, early-exit sequence divergences,
+// or a malformed barrier skip. `label` names the injected shape, not the
+// guaranteed engine outcome (an injection can land in a dead spot).
+#ifndef BUNSHIN_SRC_ANALYSIS_CORPUS_H_
+#define BUNSHIN_SRC_ANALYSIS_CORPUS_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/nxe/engine.h"
+#include "src/nxe/trace.h"
+#include "src/syscall/syscall.h"
+
+namespace bunshin {
+namespace analysis {
+
+struct RandomCase {
+  nxe::EngineConfig config;
+  std::vector<nxe::VariantTrace> variants;
+  std::string label;
+};
+
+// Random syscall records (sync-relevant plain/IO-write, or ignored
+// memory-management), exposed for tests that build their own shapes.
+sc::SyscallRecord RandomRecord(std::mt19937_64& rng, bool io_write);
+sc::SyscallRecord IgnoredRecord(std::mt19937_64& rng);
+
+// Deterministic in `seed`.
+RandomCase GenerateCase(uint64_t seed);
+
+}  // namespace analysis
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_ANALYSIS_CORPUS_H_

@@ -1,0 +1,119 @@
+#include "src/analysis/diagnostics.h"
+
+#include <utility>
+
+#include "src/support/enum_name.h"
+
+namespace bunshin {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  static constexpr support::EnumNameEntry kNames[] = {
+      {static_cast<int>(Severity::kNote), "note"},
+      {static_cast<int>(Severity::kWarning), "warning"},
+      {static_cast<int>(Severity::kError), "error"},
+  };
+  return support::EnumName(kNames, severity);
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += " ";
+  out += rule;
+  if (!location.empty()) {
+    out += " [" + location + "]";
+  }
+  out += ": " + message;
+  if (!fix_hint.empty()) {
+    out += " (fix: " + fix_hint + ")";
+  }
+  return out;
+}
+
+void AnalysisReport::Add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) {
+    ++errors_;
+  } else if (diagnostic.severity == Severity::kWarning) {
+    ++warnings_;
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void AnalysisReport::AddError(std::string rule, std::string location, std::string message,
+                              std::string fix_hint) {
+  Add(Diagnostic{std::move(rule), Severity::kError, std::move(location), std::move(message),
+                 std::move(fix_hint)});
+}
+
+void AnalysisReport::AddWarning(std::string rule, std::string location, std::string message,
+                                std::string fix_hint) {
+  Add(Diagnostic{std::move(rule), Severity::kWarning, std::move(location), std::move(message),
+                 std::move(fix_hint)});
+}
+
+void AnalysisReport::AddNote(std::string rule, std::string location, std::string message) {
+  Add(Diagnostic{std::move(rule), Severity::kNote, std::move(location), std::move(message), ""});
+}
+
+bool AnalysisReport::HasRule(std::string_view rule) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AnalysisReport::HasErrorWithPrefix(std::string_view prefix) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError && d.rule.compare(0, prefix.size(), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AnalysisReport::Summary() const {
+  std::string out = std::to_string(errors_) + " error(s), " + std::to_string(warnings_) +
+                    " warning(s), " + std::to_string(notes()) + " note(s)";
+  // List each offending rule once, errors first, preserving first-seen order.
+  std::vector<std::string_view> rules;
+  for (const Severity want : {Severity::kError, Severity::kWarning}) {
+    for (const Diagnostic& d : diagnostics_) {
+      if (d.severity != want) {
+        continue;
+      }
+      bool seen = false;
+      for (std::string_view r : rules) {
+        seen = seen || r == d.rule;
+      }
+      if (!seen) {
+        rules.push_back(d.rule);
+      }
+    }
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += (i == 0 ? ": " : ", ");
+    out += rules[i];
+  }
+  return out;
+}
+
+std::string AnalysisReport::Render() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status AnalysisReport::ToStatus(const std::string& context) const {
+  if (ok()) {
+    return Status::Ok();
+  }
+  return InvalidArgument(context + ": " + Summary());
+}
+
+}  // namespace analysis
+}  // namespace bunshin

@@ -1,0 +1,107 @@
+// Structured diagnostics for the static plan & trace analyzer.
+//
+// Every analyzer rule reports through one Diagnostic shape: a stable rule id
+// (the catalog in docs/static_analysis.md is keyed by it), a severity, a
+// location string ("variant 2 thread 0", "check_plan subset 1"), a message,
+// and a fix hint. An AnalysisReport collects them and derives the verdicts
+// the trust boundaries act on:
+//
+//   * well_formed()        — no `plan/*` error: the plan's shape is coherent.
+//   * coverage_complete()  — no `coverage/*` or `ir/*` error: the distributed
+//                            checks are a disjoint, conflict-free cover.
+//   * deadlock_free()      — no `liveness/*` error: the engine is proven to
+//                            terminate with either a completed report or an
+//                            incident (detection/divergence), never a
+//                            malformed-trace or engine-deadlock Status error.
+//
+// Severity policy (enforced by the oracle suite in tests/analysis_test.cc):
+//   * kError   — the engine or executor would reject this input, or the
+//                security claim (full coverage, conflict-freedom) is broken.
+//                Errors fail NvxBuilder::Build() and make ExecutorServer
+//                reject the wire plan before it reaches the plan cache.
+//   * kWarning — runs, but a property the operator relies on is degraded
+//                (deployment-order deadlock risk, unbounded attack window,
+//                a truncated follower that will abort as a divergence).
+//   * kNote    — a predicted run outcome (expected detection/divergence) or
+//                an informational bound; never blocks anything.
+//
+// The verdicts are deliberately conservative: they may flag a plan the
+// engine happens to survive (a false alarm costs a re-plan), but a "safe"
+// verdict is load-bearing — the oracle suite asserts zero false-safe
+// verdicts against the engine over the seeded property corpus.
+//
+// This header is a leaf (support/ only) so api::VariantPlan can carry a
+// shared_ptr<const AnalysisReport> without an include cycle.
+#ifndef BUNSHIN_SRC_ANALYSIS_DIAGNOSTICS_H_
+#define BUNSHIN_SRC_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace bunshin {
+namespace analysis {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string rule;      // stable id, "<category>/<name>" (e.g. "coverage/gap")
+  Severity severity = Severity::kNote;
+  std::string location;  // where in the plan/trace ("variant 1 thread 0")
+  std::string message;   // what is wrong
+  std::string fix_hint;  // how to repair it (may be empty for notes)
+
+  // One-line rendering: "error coverage/gap [subset 1]: ... (fix: ...)".
+  std::string ToString() const;
+};
+
+class AnalysisReport {
+ public:
+  void Add(Diagnostic diagnostic);
+  // Shorthands used by every rule implementation.
+  void AddError(std::string rule, std::string location, std::string message,
+                std::string fix_hint);
+  void AddWarning(std::string rule, std::string location, std::string message,
+                  std::string fix_hint);
+  void AddNote(std::string rule, std::string location, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t errors() const { return errors_; }
+  size_t warnings() const { return warnings_; }
+  size_t notes() const { return diagnostics_.size() - errors_ - warnings_; }
+  bool ok() const { return errors_ == 0; }
+
+  // True when any diagnostic (of any severity) carries exactly `rule`.
+  bool HasRule(std::string_view rule) const;
+  // True when any *error* diagnostic's rule starts with `prefix`.
+  bool HasErrorWithPrefix(std::string_view prefix) const;
+
+  // The three verdicts the trust boundaries consume (see file comment).
+  bool well_formed() const { return !HasErrorWithPrefix("plan/"); }
+  bool coverage_complete() const {
+    return !HasErrorWithPrefix("coverage/") && !HasErrorWithPrefix("ir/");
+  }
+  bool deadlock_free() const { return errors_ == 0 || !HasErrorWithPrefix("liveness/"); }
+
+  // "2 error(s), 1 warning(s): coverage/gap, liveness/barrier-participation".
+  std::string Summary() const;
+  // Full multi-line listing, one Diagnostic::ToString() per line.
+  std::string Render() const;
+  // Ok when no errors; otherwise InvalidArgument("<context>: <Summary()>").
+  Status ToStatus(const std::string& context) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t errors_ = 0;
+  size_t warnings_ = 0;
+};
+
+}  // namespace analysis
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_ANALYSIS_DIAGNOSTICS_H_

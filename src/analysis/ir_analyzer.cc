@@ -1,0 +1,154 @@
+#include "src/analysis/ir_analyzer.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/ir/verifier.h"
+#include "src/sanitizer/asan_pass.h"
+#include "src/sanitizer/msan_pass.h"
+#include "src/sanitizer/pass.h"
+#include "src/sanitizer/ubsan_pass.h"
+#include "src/slicing/slicer.h"
+
+namespace bunshin {
+namespace analysis {
+namespace {
+
+std::unique_ptr<san::InstrumentationPass> MakePass(san::SanitizerId id) {
+  switch (id) {
+    case san::SanitizerId::kASan:
+      return std::make_unique<san::AsanPass>();
+    case san::SanitizerId::kMSan:
+      return std::make_unique<san::MsanPass>();
+    case san::SanitizerId::kUBSan:
+      return std::make_unique<san::UbsanPass>();
+    default:
+      return nullptr;
+  }
+}
+
+size_t CountMetadataInsts(const ir::Function& fn) {
+  size_t n = 0;
+  for (const ir::BasicBlock& block : fn.blocks()) {
+    for (const ir::Instruction& inst : block.insts) {
+      n += inst.origin == ir::InstOrigin::kMetadata ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::string VariantLoc(size_t v, const std::string& fn) {
+  return "variant " + std::to_string(v) + " function " + fn;
+}
+
+}  // namespace
+
+void AnalyzeCheckDistribution(const ir::Module& baseline, san::SanitizerId sanitizer,
+                              const distribution::CheckDistributionPlan& plan,
+                              const std::vector<const ir::Module*>& variants,
+                              AnalysisReport* report) {
+  if (plan.protected_functions.size() != variants.size()) {
+    report->AddError("ir/plan-arity", "",
+                     std::to_string(plan.protected_functions.size()) + " subset(s) for " +
+                         std::to_string(variants.size()) + " variant module(s)",
+                     "one sliced module per plan subset, in slot order");
+    return;
+  }
+
+  // Independent ground truth: re-instrument a clone of the baseline and
+  // count per-function check sites (structural discovery) and metadata
+  // instructions (origin tags the slicer never reads).
+  std::unique_ptr<san::InstrumentationPass> pass = MakePass(sanitizer);
+  if (pass == nullptr) {
+    report->AddError("ir/verify", "",
+                     std::string("no IR instrumentation pass for sanitizer ") +
+                         san::SanitizerName(sanitizer),
+                     "check distribution at the IR level supports ASan/MSan/UBSan");
+    return;
+  }
+  std::unique_ptr<ir::Module> instrumented = baseline.Clone();
+  auto stats = pass->Run(instrumented.get());
+  if (!stats.ok()) {
+    report->AddError("ir/verify", "",
+                     "re-instrumentation failed: " + stats.status().message(),
+                     "the baseline module must be instrumentable");
+    return;
+  }
+  std::map<std::string, size_t> expected_checks;
+  std::map<std::string, size_t> expected_metadata;
+  for (const auto& fn : instrumented->functions()) {
+    expected_checks[fn->name()] = slicing::DiscoverChecks(*fn).size();
+    expected_metadata[fn->name()] = CountMetadataInsts(*fn);
+  }
+
+  // Which subset owns each function (duplicates/gaps are the plan-level
+  // analyzer's coverage rules; here we only need ownership).
+  std::map<std::string, size_t> owner;
+  for (size_t v = 0; v < plan.protected_functions.size(); ++v) {
+    for (const std::string& name : plan.protected_functions[v]) {
+      owner.emplace(name, v);
+    }
+  }
+  for (const auto& [name, checks] : expected_checks) {
+    if (checks > 0 && owner.find(name) == owner.end()) {
+      report->AddError("coverage/gap", "function " + name,
+                       "the instrumentation inserts " + std::to_string(checks) +
+                           " check(s) here but no subset protects it; every variant drops "
+                           "them",
+                       "the subsets must cover the full instrumented function set");
+    }
+  }
+
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const ir::Module& module = *variants[v];
+    const Status verified = ir::VerifyModule(module);
+    if (!verified.ok()) {
+      report->AddError("ir/verify", "variant " + std::to_string(v),
+                       "module fails verification: " + verified.message(),
+                       "slicing must preserve module well-formedness");
+      continue;
+    }
+    for (const std::string& name : plan.protected_functions[v]) {
+      if (module.GetFunction(name) == nullptr) {
+        report->AddError("ir/function-missing", VariantLoc(v, name),
+                         "subset protects a function the variant module does not define",
+                         "subsets name real module functions");
+      }
+    }
+    for (const auto& fn : module.functions()) {
+      const auto expected_it = expected_checks.find(fn->name());
+      if (expected_it == expected_checks.end()) {
+        report->AddError("ir/function-missing", VariantLoc(v, fn->name()),
+                         "variant defines a function the baseline does not",
+                         "variants are de-instrumented clones; they cannot add functions");
+        continue;
+      }
+      const auto owner_it = owner.find(fn->name());
+      const bool is_protected = owner_it != owner.end() && owner_it->second == v;
+      const size_t want = is_protected ? expected_it->second : 0;
+      const size_t got = slicing::DiscoverChecks(*fn).size();
+      if (got != want) {
+        report->AddError(
+            "ir/check-retention", VariantLoc(v, fn->name()),
+            "retains " + std::to_string(got) + " check(s), expected " + std::to_string(want) +
+                (is_protected ? " (its subset's full instrumentation)"
+                              : " (function belongs to another variant's subset)"),
+            "de-instrumentation must remove exactly the unassigned functions' checks");
+      }
+      const size_t want_metadata = expected_metadata.at(fn->name());
+      const size_t got_metadata = CountMetadataInsts(*fn);
+      if (got_metadata != want_metadata) {
+        report->AddError(
+            "ir/metadata-maintenance", VariantLoc(v, fn->name()),
+            "carries " + std::to_string(got_metadata) + " metadata instruction(s), expected " +
+                std::to_string(want_metadata) +
+                "; dropped metadata maintenance corrupts every other variant's checks (§3.2)",
+            "slicing removes check slices only, never kMetadata instructions");
+      }
+    }
+  }
+}
+
+}  // namespace analysis
+}  // namespace bunshin

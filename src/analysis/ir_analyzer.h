@@ -1,0 +1,48 @@
+// Static analysis over post-slicing IR variants (§3.2 / §4.1 cross-check).
+//
+// Check distribution materializes variant i by de-instrumenting every
+// function not assigned to subset i. The security claim has two halves the
+// slicer could silently break:
+//
+//   * retention — variant i keeps *exactly* subset i's checks: every
+//     protected function carries the same check sites the full
+//     instrumentation inserted, and every unprotected function carries none
+//     (`ir/check-retention`);
+//   * metadata maintenance — de-instrumentation removes checks only, never
+//     the metadata bookkeeping every check in other variants depends on
+//     (`ir/metadata-maintenance`).
+//
+// The analyzer derives ground truth independently of the slicer: it clones
+// the baseline, re-runs the sanitizer's instrumentation pass, and counts
+// check sites per function with slicing::DiscoverChecks (structural
+// discovery) and metadata instructions by their InstOrigin::kMetadata tags
+// (which the slicer never reads — see src/slicing/slicer.h). Each variant is
+// also re-verified with ir::VerifyModule (`ir/verify`), the plan's subsets
+// are matched against real module functions (`ir/function-missing`,
+// `ir/plan-arity`), and an instrumented function no subset protects is a
+// coverage gap (`coverage/gap`).
+#ifndef BUNSHIN_SRC_ANALYSIS_IR_ANALYZER_H_
+#define BUNSHIN_SRC_ANALYSIS_IR_ANALYZER_H_
+
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/distribution/distribution.h"
+#include "src/ir/ir.h"
+#include "src/sanitizer/sanitizer.h"
+
+namespace bunshin {
+namespace analysis {
+
+// Cross-checks the sliced `variants` (one module per plan subset, in slot
+// order) against `plan` and a fresh re-instrumentation of `baseline` with
+// `sanitizer`. Appends ir/* (and coverage/gap) diagnostics to `report`.
+void AnalyzeCheckDistribution(const ir::Module& baseline, san::SanitizerId sanitizer,
+                              const distribution::CheckDistributionPlan& plan,
+                              const std::vector<const ir::Module*>& variants,
+                              AnalysisReport* report);
+
+}  // namespace analysis
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_ANALYSIS_IR_ANALYZER_H_

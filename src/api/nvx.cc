@@ -5,8 +5,11 @@
 #include <numeric>
 #include <utility>
 
+#include "src/analysis/ir_analyzer.h"
+#include "src/analysis/plan_analyzer.h"
 #include "src/api/async.h"
 #include "src/api/shard.h"
+#include "src/ir/verifier.h"
 #include "src/net/remote.h"
 #include "src/support/enum_name.h"
 #include "src/support/thread_pool.h"
@@ -166,46 +169,13 @@ class TraceBackend final : public Backend {
     const VariantPlan& plan = *plan_;
     const uint64_t seed = request.workload_seed.value_or(plan.seed);
 
-    std::vector<nxe::VariantTrace> traces;
-    traces.reserve(members_.size());
-    for (size_t global : members_) {
-      traces.push_back(BuildOne(plan.specs[global], seed));
+    // Trace construction + injection splicing live in BuildPlanTraces so the
+    // static analyzer proves properties of exactly the traces run here.
+    auto built = BuildPlanTraces(plan, members_, seed);
+    if (!built.ok()) {
+      return built.status();
     }
-    for (const auto& injection : plan.detect_injections) {
-      const std::optional<size_t> local = LocalSlot(injection.variant);
-      if (!local.has_value()) {
-        continue;  // that variant runs in another shard
-      }
-      // Splice the firing check mid-run into the variant's first thread (the
-      // attack reaches the vulnerable function partway through execution).
-      auto& actions = traces[*local].threads.front().actions;
-      actions.insert(actions.begin() + static_cast<ptrdiff_t>(actions.size() / 2),
-                     nxe::ThreadAction::Detect(injection.detector));
-    }
-    for (const auto& injection : plan.diverge_injections) {
-      const std::optional<size_t> local = LocalSlot(injection.variant);
-      if (!local.has_value()) {
-        continue;
-      }
-      // The compromised variant tries to push a different payload through a
-      // mid-run observable syscall; the monitor must flag the mismatch.
-      auto& actions = traces[*local].threads.front().actions;
-      std::vector<size_t> sites;
-      for (size_t i = 0; i < actions.size(); ++i) {
-        if (actions[i].kind == nxe::ActionKind::kSyscall &&
-            sc::IsSyncRelevant(actions[i].syscall.no)) {
-          sites.push_back(i);
-        }
-      }
-      if (sites.empty()) {
-        return FailedPrecondition("InjectDivergence(): variant " +
-                                  std::to_string(injection.variant) +
-                                  " has no sync-relevant syscall to diverge at");
-      }
-      sc::SyscallRecord& rec = actions[sites[sites.size() / 2]].syscall;
-      rec.payload_digest = sc::DigestString(injection.payload);
-      rec.args[1] = static_cast<int64_t>(injection.payload.size());
-    }
+    std::vector<nxe::VariantTrace> traces = std::move(*built);
 
     // A shard runs a trace subset, but the whole session still shares the
     // host: contention (LLC, core time-sharing) is modeled session-wide.
@@ -287,21 +257,22 @@ class TraceBackend final : public Backend {
     return workload::BuildTrace(*plan_->benchmark, spec, seed);
   }
 
-  // Local slot of global variant `global`, if this shard runs it.
-  std::optional<size_t> LocalSlot(size_t global) const {
-    for (size_t local = 0; local < members_.size(); ++local) {
-      if (members_[local] == global) {
-        return local;
-      }
-    }
-    return std::nullopt;
-  }
-
   std::shared_ptr<const VariantPlan> plan_;
   std::vector<size_t> members_;  // members_[local_slot] = global slot; [0] is the leader
   bool owns_baseline_;
   std::vector<std::string> labels_;
 };
+
+// Runs the static analyzer over a freshly planned (or injection-overlaid)
+// plan, stores the report on the plan, and converts analyzer errors into the
+// build-time Status the caller propagates. Warnings and notes ride along on
+// plan->analysis without failing anything.
+Status AttachAnalysis(VariantPlan* plan) {
+  analysis::AnalysisReport report = analysis::AnalyzePlan(*plan);
+  Status status = report.ToStatus("plan analysis");
+  plan->analysis = std::make_shared<const analysis::AnalysisReport>(std::move(report));
+  return status;
+}
 
 std::string JoinNames(const std::vector<std::string>& names) {
   std::string out;
@@ -862,6 +833,12 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend(CacheTelemetry* te
   if (strategy_ == DistributionStrategy::kCheck && profiling_workload_.empty()) {
     return InvalidArgument("check distribution on a module requires ProfilingWorkload()");
   }
+  // Fail malformed modules here, with a build-time Status, instead of
+  // letting them surface mid-interp (or mid-instrumentation) later.
+  Status module_ok = ir::VerifyModule(*module_);
+  if (!module_ok.ok()) {
+    return InvalidArgument("Module() failed IR verification: " + module_ok.message());
+  }
 
   // The expensive half: instrument + profile + partition + slice. Runs once
   // per IrCacheKey() when an IrSystemCache is attached.
@@ -914,6 +891,24 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildIrBackend(CacheTelemetry* te
   }
   if (!system.ok()) {
     return system.status();
+  }
+
+  if (strategy_ == DistributionStrategy::kCheck) {
+    // Cross-check the sliced variants against an independent
+    // re-instrumentation: exact check retention per subset, metadata
+    // maintenance everywhere (the §3.2 claim the slicer could break).
+    analysis::AnalysisReport report;
+    std::vector<const ir::Module*> variant_modules;
+    variant_modules.reserve((*system)->n_variants());
+    for (size_t v = 0; v < (*system)->n_variants(); ++v) {
+      variant_modules.push_back(&(*system)->variant(v));
+    }
+    analysis::AnalyzeCheckDistribution(*module_, check_sanitizer_, (*system)->check_plan(),
+                                       variant_modules, &report);
+    Status analyzed = report.ToStatus("IR analysis");
+    if (!analyzed.ok()) {
+      return analyzed;
+    }
   }
 
   const bool has_check_plan = strategy_ == DistributionStrategy::kCheck;
@@ -1043,6 +1038,12 @@ StatusOr<std::shared_ptr<const VariantPlan>> NvxBuilder::OverlayInjections(
   auto overlaid = std::make_shared<VariantPlan>(*base);
   overlaid->detect_injections = detect_injections_;
   overlaid->diverge_injections = diverge_injections_;
+  // Injections change the traces, so the cached base's report no longer
+  // describes this overlay — re-analyze (the base entry keeps its own).
+  Status analyzed = AttachAnalysis(overlaid.get());
+  if (!analyzed.ok()) {
+    return analyzed;
+  }
   return std::shared_ptr<const VariantPlan>(std::move(overlaid));
 }
 
@@ -1080,6 +1081,12 @@ StatusOr<std::shared_ptr<const VariantPlan>> NvxBuilder::ResolveSharedPlan(
   }
   plan->detect_injections = detect_injections_;
   plan->diverge_injections = diverge_injections_;
+  if (!detect_injections_.empty() || !diverge_injections_.empty()) {
+    Status analyzed = AttachAnalysis(&*plan);
+    if (!analyzed.ok()) {
+      return analyzed;
+    }
+  }
   return std::shared_ptr<const VariantPlan>(
       std::make_shared<const VariantPlan>(std::move(*plan)));
 }
@@ -1098,6 +1105,12 @@ StatusOr<VariantPlan> NvxBuilder::PlanVariants() const {
     }
     plan->detect_injections = detect_injections_;
     plan->diverge_injections = diverge_injections_;
+    if (!detect_injections_.empty() || !diverge_injections_.empty()) {
+      Status analyzed = AttachAnalysis(&*plan);
+      if (!analyzed.ok()) {
+        return analyzed;
+      }
+    }
     return plan;
   }
   StatusOr<std::shared_ptr<const VariantPlan>> shared = ResolveSharedPlan(nullptr);
@@ -1240,6 +1253,13 @@ StatusOr<VariantPlan> NvxBuilder::PlanBase() const {
     }
   }
 
+  // Analyze at plan time: the report is cached with the plan (PlanCache
+  // stores injection-free bases), and analyzer errors fail the build here —
+  // before any backend, engine, or wire encoder ever sees the plan.
+  Status analyzed = AttachAnalysis(&plan);
+  if (!analyzed.ok()) {
+    return analyzed;
+  }
   return plan;
 }
 

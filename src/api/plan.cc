@@ -1,11 +1,34 @@
 #include "src/api/plan.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "src/support/enum_name.h"
+#include "src/syscall/syscall.h"
 
 namespace bunshin {
 namespace api {
+namespace {
+
+nxe::VariantTrace BuildOneTrace(const VariantPlan& plan, const workload::VariantSpec& spec,
+                                uint64_t seed) {
+  if (plan.server.has_value()) {
+    return workload::BuildServerTrace(*plan.server, spec, seed);
+  }
+  return workload::BuildTrace(*plan.benchmark, spec, seed);
+}
+
+// Local slot of global variant `global`, if this member subset runs it.
+std::optional<size_t> LocalSlot(const std::vector<size_t>& members, size_t global) {
+  for (size_t local = 0; local < members.size(); ++local) {
+    if (members[local] == global) {
+      return local;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 const char* DistributionStrategyName(DistributionStrategy strategy) {
   static constexpr support::EnumNameEntry kNames[] = {
@@ -119,6 +142,52 @@ std::string VariantPlan::CacheKey() const {
     AppendCacheKeyComponent(&key, injection.payload);
   }
   return key;
+}
+
+StatusOr<std::vector<nxe::VariantTrace>> BuildPlanTraces(const VariantPlan& plan,
+                                                         const std::vector<size_t>& members,
+                                                         uint64_t seed) {
+  std::vector<nxe::VariantTrace> traces;
+  traces.reserve(members.size());
+  for (size_t global : members) {
+    traces.push_back(BuildOneTrace(plan, plan.specs[global], seed));
+  }
+  for (const auto& injection : plan.detect_injections) {
+    const std::optional<size_t> local = LocalSlot(members, injection.variant);
+    if (!local.has_value()) {
+      continue;  // that variant runs in another shard
+    }
+    // Splice the firing check mid-run into the variant's first thread (the
+    // attack reaches the vulnerable function partway through execution).
+    auto& actions = traces[*local].threads.front().actions;
+    actions.insert(actions.begin() + static_cast<ptrdiff_t>(actions.size() / 2),
+                   nxe::ThreadAction::Detect(injection.detector));
+  }
+  for (const auto& injection : plan.diverge_injections) {
+    const std::optional<size_t> local = LocalSlot(members, injection.variant);
+    if (!local.has_value()) {
+      continue;
+    }
+    // The compromised variant tries to push a different payload through a
+    // mid-run observable syscall; the monitor must flag the mismatch.
+    auto& actions = traces[*local].threads.front().actions;
+    std::vector<size_t> sites;
+    for (size_t i = 0; i < actions.size(); ++i) {
+      if (actions[i].kind == nxe::ActionKind::kSyscall &&
+          sc::IsSyncRelevant(actions[i].syscall.no)) {
+        sites.push_back(i);
+      }
+    }
+    if (sites.empty()) {
+      return FailedPrecondition("InjectDivergence(): variant " +
+                                std::to_string(injection.variant) +
+                                " has no sync-relevant syscall to diverge at");
+    }
+    sc::SyscallRecord& rec = actions[sites[sites.size() / 2]].syscall;
+    rec.payload_digest = sc::DigestString(injection.payload);
+    rec.args[1] = static_cast<int64_t>(injection.payload.size());
+  }
+  return traces;
 }
 
 std::vector<std::vector<size_t>> ShardMemberGroups(size_t n_variants, size_t k) {

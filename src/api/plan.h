@@ -16,14 +16,17 @@
 #define BUNSHIN_SRC_API_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/distribution/distribution.h"
 #include "src/nxe/engine.h"
 #include "src/partition/partition.h"
 #include "src/sanitizer/sanitizer.h"
+#include "src/support/status.h"
 #include "src/workload/tracegen.h"
 #include "src/workload/workload.h"
 
@@ -91,6 +94,12 @@ struct VariantPlan {
   std::vector<DetectInjection> detect_injections;
   std::vector<DivergeInjection> diverge_injections;
 
+  // Static-analysis report attached by analysis::AnalyzePlan at plan time
+  // (NvxBuilder caches it with the plan; ExecutorServer re-analyzes decoded
+  // wire plans itself). Not part of CacheKey() — it is derived from the plan,
+  // never an input to it. May be null for hand-assembled plans.
+  std::shared_ptr<const analysis::AnalysisReport> analysis;
+
   size_t n_variants() const { return specs.size(); }
 
   // Identifies everything that determines this plan's content: two builders
@@ -105,6 +114,18 @@ struct VariantPlan {
   // names nor sub-1e-6 deltas can alias two distinct configurations.
   std::string CacheKey() const;
 };
+
+// Builds the concrete variant traces a backend (or the static analyzer)
+// executes for the plan's member subset: one trace per member (specs[global]
+// through the target's workload generator), with the plan's detection and
+// divergence injections spliced into the members that own them. This is the
+// single home of the splice rules — TraceBackend::Run and
+// analysis::AnalyzePlan call it, so what the analyzer proves about the
+// traces is exactly what the engine runs. Fails (FailedPrecondition) when a
+// divergence injection targets a member with no sync-relevant syscall.
+StatusOr<std::vector<nxe::VariantTrace>> BuildPlanTraces(const VariantPlan& plan,
+                                                         const std::vector<size_t>& members,
+                                                         uint64_t seed);
 
 // The session's variant slots dealt into k shard groups — the single home of
 // the grouping rule, shared by ShardedBackend (in-process fan-out) and

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/analysis/plan_analyzer.h"
+
 namespace bunshin {
 namespace net {
 
@@ -180,7 +182,7 @@ RunReplyMsg ExecutorServer::HandleRun(const std::string& payload) {
   const std::string claimed_key = msg->cache_key;
   StatusOr<std::shared_ptr<const api::VariantPlan>> plan = plan_cache_.GetOrPlan(
       claimed_key,
-      [&plan_bytes, &claimed_key]() -> StatusOr<api::VariantPlan> {
+      [&plan_bytes, &claimed_key, this]() -> StatusOr<api::VariantPlan> {
         StatusOr<api::VariantPlan> decoded = DecodeVariantPlan(plan_bytes);
         if (!decoded.ok()) {
           return decoded.status();
@@ -189,6 +191,19 @@ RunReplyMsg ExecutorServer::HandleRun(const std::string& payload) {
           return InvalidArgument(
               "wire: request cache_key does not match the decoded plan's CacheKey");
         }
+        // The wire is a trust boundary: a syntactically valid plan can still
+        // be hostile (under-covered subsets, conflicting sanitizer groups,
+        // deadlock-shaped configs). Run the full static analyzer before the
+        // plan is cached or any backend is built from it; rejection is a
+        // factory error, so a bad plan never occupies a cache slot.
+        analysis::AnalysisReport report = analysis::AnalyzePlan(*decoded);
+        if (!report.ok()) {
+          analysis_rejects_.fetch_add(1, std::memory_order_relaxed);
+          return InvalidArgument("wire: plan rejected by static analysis: " + report.Summary() +
+                                 "\n" + report.Render());
+        }
+        decoded->analysis =
+            std::make_shared<const analysis::AnalysisReport>(std::move(report));
         return decoded;
       },
       &was_hit);
@@ -267,6 +282,7 @@ ExecutorStats ExecutorServer::stats() const {
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
   stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.analysis_rejects = analysis_rejects_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -44,6 +44,9 @@ struct ExecutorStats {
   uint64_t requests = 0;        // run requests handled (including failed ones)
   uint64_t plan_cache_hits = 0; // requests whose plan skipped decode/rebuild
   uint64_t decode_errors = 0;   // malformed frames or messages
+  // Wire plans that decoded fine but failed static analysis (hostile or
+  // under-covered plans, rejected before they reach the plan cache).
+  uint64_t analysis_rejects = 0;
 };
 
 class ExecutorServer {
@@ -109,6 +112,7 @@ class ExecutorServer {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> plan_cache_hits_{0};
   std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> analysis_rejects_{0};
 };
 
 // An Endpoint dialing `server` in-process: the loopback analogue of
