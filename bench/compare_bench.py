@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
 """Compare two BENCH_engine.json files and fail on perf regressions.
 
-CI runs the engine hot-path microbench on every push and uploads
-BENCH_engine.json as an artifact. This comparator pulls the previous run's
-artifact and fails the job when any row's ns_per_event regressed by more
-than the threshold (default 10%), so scheduler slowdowns are caught at the
+CI runs the engine hot-path and warm-session microbenches on every push and
+uploads BENCH_engine.json as an artifact. This comparator pulls the previous
+run's artifact and fails the job when any row regressed by more than the
+threshold (default 10%) on any gated metric:
+
+  * ns_per_event      (lower is better)  — scheduler hot-path cost
+  * sessions_per_sec  (higher is better) — session throughput
+  * allocs_per_run    (lower is better)  — warm-path allocation count
+
+so slowdowns (and the warm path growing allocations back) are caught at the
 PR that introduces them instead of drifting in silently.
 
 Rows are keyed by (workload, mode, n_variants). Rows present only in the
 baseline (a shape the bench no longer measures) or only in the current run
-(a newly added shape) are reported but never fail the comparison — only a
-measured same-shape slowdown does.
+(a newly added shape) are reported but never fail the comparison; likewise a
+metric absent from the baseline row (an older artifact predating the metric)
+warns and skips — only a measured same-shape regression fails.
 
   $ bench/compare_bench.py baseline.json current.json
   $ bench/compare_bench.py --threshold 0.10 baseline.json current.json
@@ -23,6 +30,14 @@ stdlib only; exit 0 = no regression, 1 = regression, 2 = usage/IO error.
 import argparse
 import json
 import sys
+
+# (metric key, direction). A row is gated on every metric it carries in both
+# files; directions are "lower" (cost) or "higher" (throughput).
+METRICS = [
+    ("ns_per_event", "lower"),
+    ("sessions_per_sec", "higher"),
+    ("allocs_per_run", "lower"),
+]
 
 
 def load_rows(path):
@@ -46,12 +61,28 @@ def load_rows(path):
     return rows
 
 
-def row_ns(row):
-    """ns_per_event as float, or None when absent/non-numeric (renamed key)."""
+def row_metric(row, metric):
+    """The metric as float, or None when absent/non-numeric (renamed key,
+    or an older baseline predating the metric)."""
     try:
-        return float(row["ns_per_event"])
+        return float(row[metric])
     except (KeyError, TypeError, ValueError):
         return None
+
+
+def regressed(base, cur, direction, threshold):
+    """Whether cur regressed past threshold relative to base.
+
+    "lower" metrics regress when cur grows; a zero baseline (the warm path's
+    allocs_per_run) cannot use a relative test, so it allows an absolute
+    slack of 1.0 — any real allocation creep (>= 1/run sustained) fails.
+    "higher" metrics regress when cur shrinks.
+    """
+    if direction == "lower":
+        if base <= 0.0:
+            return cur > base * (1.0 + threshold) + 1.0
+        return (cur - base) / base > threshold
+    return base > 0.0 and (base - cur) / base > threshold
 
 
 def compare(baseline, current, threshold):
@@ -60,29 +91,32 @@ def compare(baseline, current, threshold):
     lines = []
     for key in sorted(current.keys()):
         label = "{}/{}/n={}".format(*key)
-        cur_ns = row_ns(current[key])
-        if cur_ns is None:
-            lines.append("  SKIP   {}: current row has no ns_per_event".format(label))
+        cur_row = current[key]
+        if all(row_metric(cur_row, m) is None for m, _ in METRICS):
+            lines.append("  SKIP   {}: current row has no gated metric".format(label))
             continue
         if key not in baseline:
-            lines.append("  NEW    {}: ns/event {:.2f} (no baseline row)".format(
-                label, cur_ns))
+            lines.append("  NEW    {}: no baseline row".format(label))
             continue
-        base_ns = row_ns(baseline[key])
-        if base_ns is None:
-            lines.append("  SKIP   {}: baseline row has no ns_per_event".format(label))
-            continue
-        if base_ns <= 0.0:
-            lines.append("  SKIP   {}: baseline ns/event {:.2f} not positive".format(
-                label, base_ns))
-            continue
-        delta = (cur_ns - base_ns) / base_ns
-        verdict = "OK"
-        if delta > threshold:
-            verdict = "REGRESS"
-            regressions.append(label)
-        lines.append("  {:<6} {}: ns/event {:.2f} -> {:.2f} ({:+.1%})".format(
-            verdict, label, base_ns, cur_ns, delta))
+        base_row = baseline[key]
+        for metric, direction in METRICS:
+            cur_val = row_metric(cur_row, metric)
+            base_val = row_metric(base_row, metric)
+            if cur_val is None or base_val is None:
+                if (cur_val is None) != (base_val is None):
+                    lines.append("  SKIP   {}: {} only in {} row".format(
+                        label, metric, "current" if base_val is None else "baseline"))
+                continue
+            if direction == "lower" and base_val <= 0.0 and cur_val <= 0.0:
+                lines.append("  OK     {}: {} stayed 0".format(label, metric))
+                continue
+            verdict = "OK"
+            if regressed(base_val, cur_val, direction, threshold):
+                verdict = "REGRESS"
+                regressions.append("{}:{}".format(label, metric))
+            delta = (cur_val - base_val) / base_val if base_val > 0.0 else float("inf")
+            lines.append("  {:<6} {}: {} {:.2f} -> {:.2f} ({:+.1%})".format(
+                verdict, label, metric, base_val, cur_val, delta))
     for key in sorted(set(baseline.keys()) - set(current.keys())):
         lines.append("  GONE   {}/{}/n={}: row dropped from current run".format(*key))
     return regressions, lines
@@ -103,20 +137,45 @@ def self_test():
         ("new", "full", 8): {"ns_per_event": 75.0},        # new shape: never fails
     }
     regressions, _ = compare(base, cur, threshold=0.10)
-    assert regressions == ["uniform/full/n=4"], regressions
+    assert regressions == ["uniform/full/n=4:ns_per_event"], regressions
     regressions, _ = compare(base, cur, threshold=0.50)
     assert regressions == [], regressions
-    # A zero baseline row is skipped, not divided by.
+    # A zero ns baseline row is skipped, not divided by (absolute slack > 1).
     regressions, _ = compare({("z", "full", 1): {"ns_per_event": 0.0}},
-                             {("z", "full", 1): {"ns_per_event": 5.0}}, 0.10)
+                             {("z", "full", 1): {"ns_per_event": 0.5}}, 0.10)
     assert regressions == [], regressions
-    # Missing or renamed ns_per_event keys warn and skip, never raise.
+    # Missing or renamed metric keys warn and skip, never raise.
     regressions, lines = compare(
         {("m", "full", 1): {"ns": 1.0}, ("n", "full", 1): {"ns_per_event": 1.0}},
         {("m", "full", 1): {"ns_per_event": 99.0}, ("n", "full", 1): {"renamed": 99.0}},
         0.10)
     assert regressions == [], regressions
     assert sum("SKIP" in line for line in lines) == 2, lines
+    # Throughput regresses downward; improvements never fail.
+    regressions, _ = compare(
+        {("w", "warm", 8): {"sessions_per_sec": 1000.0},
+         ("w", "cold", 8): {"sessions_per_sec": 100.0}},
+        {("w", "warm", 8): {"sessions_per_sec": 850.0},    # -15%: regression
+         ("w", "cold", 8): {"sessions_per_sec": 140.0}},   # +40%: fine
+        0.10)
+    assert regressions == ["w/warm/n=8:sessions_per_sec"], regressions
+    # The zero-alloc steady state: staying at 0 passes, creeping past the
+    # absolute slack of 1 alloc/run fails, and an older baseline without the
+    # metric skips rather than fails.
+    regressions, lines = compare(
+        {("w", "warm", 8): {"sessions_per_sec": 100.0, "allocs_per_run": 0.0}},
+        {("w", "warm", 8): {"sessions_per_sec": 100.0, "allocs_per_run": 0.0}}, 0.10)
+    assert regressions == [], regressions
+    assert any("stayed 0" in line for line in lines), lines
+    regressions, _ = compare(
+        {("w", "warm", 8): {"allocs_per_run": 0.0}},
+        {("w", "warm", 8): {"allocs_per_run": 2.0}}, 0.10)
+    assert regressions == ["w/warm/n=8:allocs_per_run"], regressions
+    regressions, lines = compare(
+        {("w", "warm", 8): {"ns_per_event": 5.0}},
+        {("w", "warm", 8): {"ns_per_event": 5.0, "allocs_per_run": 3.0}}, 0.10)
+    assert regressions == [], regressions
+    assert any("only in current" in line for line in lines), lines
     print("self-test passed")
     return 0
 
@@ -126,7 +185,7 @@ def main(argv):
     parser.add_argument("baseline", nargs="?", help="previous BENCH_engine.json")
     parser.add_argument("current", nargs="?", help="this run's BENCH_engine.json")
     parser.add_argument("--threshold", type=float, default=0.10,
-                        help="max allowed ns/event increase as a fraction (default 0.10)")
+                        help="max allowed regression per metric as a fraction (default 0.10)")
     parser.add_argument("--allow-missing-baseline", action="store_true",
                         help="exit 0 if the baseline file is absent (first run / expired artifact)")
     parser.add_argument("--self-test", action="store_true",
@@ -162,10 +221,11 @@ def main(argv):
     for line in lines:
         print(line)
     if regressions:
-        print("FAIL: {} row(s) regressed more than {:.0%} in ns/event: {}".format(
+        print("FAIL: {} metric(s) regressed more than {:.0%}: {}".format(
             len(regressions), args.threshold, ", ".join(regressions)), file=sys.stderr)
         return 1
-    print("no ns/event regression beyond {:.0%}".format(args.threshold))
+    print("no regression beyond {:.0%} on {}".format(
+        args.threshold, ", ".join(m for m, _ in METRICS)))
     return 0
 
 

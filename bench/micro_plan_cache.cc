@@ -82,24 +82,32 @@ double TimeSessions(const workload::BenchmarkSpec& bench, std::shared_ptr<api::P
   return Seconds(start);
 }
 
+// One shared cache serves every row (the fleet shape); each row snapshots
+// the cumulative counters before and after its warm phase and diffs, so the
+// printed hit/miss/coalesced are that phase's own, not the fleet lifetime's.
 int Row(const char* label, const workload::BenchmarkSpec& bench, size_t sessions,
-        size_t threads, bool run_each) {
+        size_t threads, bool run_each, const std::shared_ptr<api::PlanCache>& cache,
+        uint64_t expected_misses) {
   const double cold = TimeSessions(bench, nullptr, sessions, threads, run_each);
-  auto cache = std::make_shared<api::PlanCache>(16);
+  const api::PlanCacheStats before = cache->stats();
   const double warm = TimeSessions(bench, cache, sessions, threads, run_each);
   if (cold < 0.0 || warm < 0.0) {
     return 1;
   }
-  const api::PlanCacheStats stats = cache->stats();
+  const api::PlanCacheStats after = cache->stats();
+  const uint64_t phase_hits = after.hits - before.hits;
+  const uint64_t phase_misses = after.misses - before.misses;
+  const uint64_t phase_coalesced = after.coalesced - before.coalesced;
   const double sessions_d = static_cast<double>(sessions);
   std::printf("%-22s %10.1f %12.1f %9.2fx   (cache: %llu hit / %llu miss / %llu coalesced)\n",
               label, sessions_d / cold, sessions_d / warm, cold / warm,
-              static_cast<unsigned long long>(stats.hits),
-              static_cast<unsigned long long>(stats.misses),
-              static_cast<unsigned long long>(stats.coalesced));
-  if (stats.misses != 1) {
-    std::fprintf(stderr, "expected exactly one planning run, saw %llu\n",
-                 static_cast<unsigned long long>(stats.misses));
+              static_cast<unsigned long long>(phase_hits),
+              static_cast<unsigned long long>(phase_misses),
+              static_cast<unsigned long long>(phase_coalesced));
+  if (phase_misses != expected_misses) {
+    std::fprintf(stderr, "expected %llu planning run(s) this phase, saw %llu\n",
+                 static_cast<unsigned long long>(expected_misses),
+                 static_cast<unsigned long long>(phase_misses));
     return 1;
   }
   return 0;
@@ -117,15 +125,20 @@ int main() {
   std::printf("%-22s %10s %12s %9s\n", "configuration", "cold/sec", "warm/sec", "speedup");
 
   int rc = 0;
-  // Build-only: the planning cost the cache amortizes (the >= 2x gate).
-  rc |= Row("build-only", bench, 192, 1, /*run_each=*/false);
+  auto cache = std::make_shared<api::PlanCache>(16);
+  // Build-only: the planning cost the cache amortizes (the >= 2x gate). The
+  // first phase plans once; every later phase must be all hits.
+  rc |= Row("build-only", bench, 192, 1, /*run_each=*/false, cache, /*expected_misses=*/1);
   // Build+run: one execution per session diluted by engine time.
-  rc |= Row("build+run", bench, 64, 1, /*run_each=*/true);
+  rc |= Row("build+run", bench, 64, 1, /*run_each=*/true, cache, /*expected_misses=*/0);
   // Multi-threaded builders sharing one cache (single-flight coalescing).
-  rc |= Row("build-only x4 threads", bench, 192, 4, /*run_each=*/false);
-  rc |= Row("build+run  x4 threads", bench, 64, 4, /*run_each=*/true);
+  rc |= Row("build-only x4 threads", bench, 192, 4, /*run_each=*/false, cache,
+            /*expected_misses=*/0);
+  rc |= Row("build+run  x4 threads", bench, 64, 4, /*run_each=*/true, cache,
+            /*expected_misses=*/0);
 
-  std::printf("\nwarm builds resolve the plan by cache key (one miss total); cold builds\n"
-              "re-run profile synthesis + check partitioning per session.\n");
+  std::printf("\nwarm builds resolve the plan by cache key (one miss total, in the first\n"
+              "phase); cold builds re-run profile synthesis + check partitioning per\n"
+              "session. Per-row counters are snapshot diffs, not cache lifetime totals.\n");
   return rc;
 }

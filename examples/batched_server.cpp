@@ -49,6 +49,10 @@ int main() {
   constexpr uint64_t kRounds = 8;
   size_t submitted = 0;
   std::map<std::string, size_t> tally;
+  // Counters are cumulative over the cache's lifetime; snapshot them at the
+  // cold/steady phase boundary and diff, so each phase's hit rate is its
+  // own — not diluted by the other phase's traffic.
+  api::PlanCacheStats cold_stats;
 
   // Keep every session alive until its runs drain.
   std::vector<api::AsyncNvxSession> sessions;
@@ -96,6 +100,9 @@ int main() {
     sessions.push_back(std::move(*traffic));
     sessions.push_back(std::move(*batch));
     sessions.push_back(std::move(*exploited));
+    if (round == 0) {
+      cold_stats = cache->stats();  // end of the cold phase: all planning done
+    }
   }
 
   std::printf("submitted %zu sessions from %zu builder configurations through one plan cache\n\n",
@@ -126,18 +133,31 @@ int main() {
   }
 
   const api::PlanCacheStats stats = cache->stats();
+  const uint64_t steady_hits = stats.hits - cold_stats.hits;
+  const uint64_t steady_misses = stats.misses - cold_stats.misses;
   std::printf("verdicts: %zu ok, %zu detected — all as expected\n", tally["ok"],
               tally["detected"]);
-  std::printf("plan cache: %llu hits, %llu misses, %zu entries "
+  std::printf("plan cache, cold phase (round 0):   %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(cold_stats.hits),
+              static_cast<unsigned long long>(cold_stats.misses));
+  std::printf("plan cache, steady phase (rounds 1+): %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(steady_hits),
+              static_cast<unsigned long long>(steady_misses));
+  std::printf("plan cache lifetime: %llu hits, %llu misses, %zu entries "
               "(observer hook saw %zu hits / %zu misses)\n",
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses), stats.entries, hook_hits,
               hook_misses);
 
-  // The whole fleet must have planned exactly twice: the server config and
-  // the benchmark config — exploit sessions overlay the benchmark entry.
-  if (stats.misses != 2 || stats.entries != 2 || hook_misses != 2) {
-    std::fprintf(stderr, "expected 2 planning runs for 2 distinct configurations\n");
+  // The whole fleet must have planned exactly twice — the server config and
+  // the benchmark config (exploit sessions overlay the benchmark entry) —
+  // and both in the cold phase: steady-state builds must be a 100% hit rate.
+  if (cold_stats.misses != 2 || stats.misses != 2 || stats.entries != 2 || hook_misses != 2) {
+    std::fprintf(stderr, "expected 2 planning runs, all in round 0\n");
+    return 1;
+  }
+  if (steady_misses != 0 || steady_hits == 0) {
+    std::fprintf(stderr, "steady phase expected a 100%% hit rate\n");
     return 1;
   }
   return 0;

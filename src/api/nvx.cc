@@ -140,14 +140,35 @@ class IrBackend final : public Backend {
 // are shard-local; RunPartial()/RunReport::Merge do the global remapping.
 // ---------------------------------------------------------------------------
 
+// Per-session scratch the warm path reuses across runs of one backend:
+// built traces and derived baseline times are pure functions of
+// (plan, members, seed), so a run with the scratch's seed skips trace
+// construction and the baseline simulations entirely. Run() is const and
+// concurrent, so scratches live on a checkout freelist (one per in-flight
+// run), never as bare mutable members.
+struct SessionScratch {
+  bool valid = false;
+  uint64_t seed = 0;
+  std::vector<nxe::VariantTrace> traces;
+  std::optional<double> baseline_time;    // owns_baseline backends only
+  std::vector<double> standalone;         // measure_standalone plans only
+  bool standalone_valid = false;
+};
+
 class TraceBackend final : public Backend {
  public:
   TraceBackend(std::shared_ptr<const VariantPlan> plan, std::vector<size_t> members,
-               bool owns_baseline)
-      : plan_(std::move(plan)), members_(std::move(members)), owns_baseline_(owns_baseline) {
+               bool owns_baseline, std::shared_ptr<nxe::EnginePool> engine_pool)
+      : plan_(std::move(plan)),
+        members_(std::move(members)),
+        owns_baseline_(owns_baseline),
+        engine_pool_(std::move(engine_pool)) {
     labels_.reserve(members_.size());
     for (size_t global : members_) {
       labels_.push_back(plan_->labels[global]);
+    }
+    if (engine_pool_ != nullptr) {
+      pool_key_ = plan_->CacheKey();  // allocates once, not per run
     }
   }
 
@@ -169,58 +190,99 @@ class TraceBackend final : public Backend {
     const VariantPlan& plan = *plan_;
     const uint64_t seed = request.workload_seed.value_or(plan.seed);
 
-    // Trace construction + injection splicing live in BuildPlanTraces so the
-    // static analyzer proves properties of exactly the traces run here.
-    auto built = BuildPlanTraces(plan, members_, seed);
-    if (!built.ok()) {
-      return built.status();
+    // Check out per-run scratch; it returns to the freelist on every exit.
+    std::unique_ptr<SessionScratch> scratch = TakeScratch();
+    struct ScratchReturn {
+      const TraceBackend* backend;
+      std::unique_ptr<SessionScratch>& scratch;
+      ~ScratchReturn() { backend->PutScratch(std::move(scratch)); }
+    } scratch_return{this, scratch};
+
+    if (!scratch->valid || scratch->seed != seed) {
+      // Trace construction + injection splicing live in BuildPlanTraces so
+      // the static analyzer proves properties of exactly the traces run
+      // here. The scratch caches the result per seed: a warm run (same
+      // plan, same seed) skips this entirely.
+      scratch->valid = false;
+      scratch->baseline_time.reset();
+      scratch->standalone_valid = false;
+      Status built = BuildPlanTraces(plan, members_, seed, &scratch->traces);
+      if (!built.ok()) {
+        return built;
+      }
+      scratch->seed = seed;
+      scratch->valid = true;
     }
-    std::vector<nxe::VariantTrace> traces = std::move(*built);
+    const std::vector<nxe::VariantTrace>& traces = scratch->traces;
 
     // A shard runs a trace subset, but the whole session still shares the
     // host: contention (LLC, core time-sharing) is modeled session-wide.
     nxe::EngineConfig config = plan.engine_config;
     config.contention_variants = plan.n_variants();
-    nxe::Engine engine(config);
+    // Warm path: pooled engine state keyed by the plan, reset in place.
+    // Without a pool, a fresh engine and no workspace — the cold behavior.
+    nxe::EnginePool::Checkout checkout;
+    std::optional<nxe::Engine> fresh_engine;
+    nxe::EngineWorkspace* workspace = nullptr;
+    if (engine_pool_ != nullptr) {
+      checkout = engine_pool_->Acquire(pool_key_, config);
+      workspace = &checkout.workspace();
+    } else {
+      fresh_engine.emplace(config);
+    }
+    const nxe::Engine& engine = engine_pool_ != nullptr ? checkout.engine() : *fresh_engine;
 
-    RunReport report;
+    RunReport report = AcquireReport();
     report.backend = name();
     if (owns_baseline_) {
-      auto baseline = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed));
-      if (!baseline.ok()) {
-        return baseline.status();
+      if (!scratch->baseline_time.has_value()) {
+        auto baseline = engine.RunBaseline(BuildOne(workload::VariantSpec{}, seed), workspace);
+        if (!baseline.ok()) {
+          return baseline.status();
+        }
+        scratch->baseline_time = *baseline;
       }
-      report.baseline_time = *baseline;
+      report.baseline_time = scratch->baseline_time;
     }
     report.variant_compute_scale.reserve(traces.size());
     for (size_t global : members_) {
       report.variant_compute_scale.push_back(plan.specs[global].compute_scale);
     }
     if (plan.measure_standalone) {
-      report.variant_standalone_time.reserve(traces.size());
-      for (size_t local = 0; local < traces.size(); ++local) {
-        if (local == 0 && !owns_baseline_) {
-          // The leader replica's standalone time is owned (and measured) by
-          // the baseline shard; Merge ignores this slot, so don't simulate
-          // the most expensive trace k-1 extra times.
-          report.variant_standalone_time.push_back(0.0);
-          continue;
+      if (!scratch->standalone_valid) {
+        scratch->standalone.clear();
+        scratch->standalone.reserve(traces.size());
+        for (size_t local = 0; local < traces.size(); ++local) {
+          if (local == 0 && !owns_baseline_) {
+            // The leader replica's standalone time is owned (and measured)
+            // by the baseline shard; Merge ignores this slot, so don't
+            // simulate the most expensive trace k-1 extra times.
+            scratch->standalone.push_back(0.0);
+            continue;
+          }
+          auto standalone = engine.RunBaseline(traces[local], workspace);
+          if (!standalone.ok()) {
+            return standalone.status();
+          }
+          scratch->standalone.push_back(*standalone);
         }
-        auto standalone = engine.RunBaseline(traces[local]);
-        if (!standalone.ok()) {
-          return standalone.status();
-        }
-        report.variant_standalone_time.push_back(*standalone);
+        scratch->standalone_valid = true;
       }
+      report.variant_standalone_time = scratch->standalone;
     }
 
-    auto sync = engine.Run(traces);
+    auto sync = engine.Run(traces, workspace);
     if (!sync.ok()) {
       return sync.status();
     }
 
     report.total_time = sync->total_time;
     report.variant_finish_time = sync->variant_finish_time;
+    if (workspace != nullptr) {
+      // Hand the finish buffer's capacity back so the next run's SyncReport
+      // reuses it (the values were copied into the report above).
+      workspace->RecycleFinishBuffer(std::move(sync->variant_finish_time));
+    }
     report.aborted_all = sync->aborted_all;
     report.synced_syscalls = sync->synced_syscalls;
     report.ignored_syscalls = sync->ignored_syscalls;
@@ -257,10 +319,37 @@ class TraceBackend final : public Backend {
     return workload::BuildTrace(*plan_->benchmark, spec, seed);
   }
 
+  std::unique_ptr<SessionScratch> TakeScratch() const {
+    {
+      std::lock_guard<std::mutex> lock(scratch_mu_);
+      if (!scratch_free_.empty()) {
+        std::unique_ptr<SessionScratch> scratch = std::move(scratch_free_.back());
+        scratch_free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<SessionScratch>();
+  }
+
+  void PutScratch(std::unique_ptr<SessionScratch> scratch) const {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (scratch_free_.size() < kMaxScratch) {
+      scratch_free_.push_back(std::move(scratch));
+    }
+  }
+
+  // One scratch per in-flight run; beyond this, extra concurrent runs just
+  // rebuild (bounded memory beats unbounded caching of a burst).
+  static constexpr size_t kMaxScratch = 32;
+
   std::shared_ptr<const VariantPlan> plan_;
   std::vector<size_t> members_;  // members_[local_slot] = global slot; [0] is the leader
   bool owns_baseline_;
+  std::shared_ptr<nxe::EnginePool> engine_pool_;  // null = cold (pool-free) backend
+  std::string pool_key_;                          // plan CacheKey, computed once
   std::vector<std::string> labels_;
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SessionScratch>> scratch_free_;
 };
 
 // Runs the static analyzer over a freshly planned (or injection-overlaid)
@@ -285,11 +374,80 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out.empty() ? "none" : out;
 }
 
+// Process-wide RunReport shell freelist (see AcquireReport/RecycleReport in
+// nvx.h). Bounded so a burst of recycles cannot pin memory.
+class ReportFreelist {
+ public:
+  RunReport Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) {
+      return RunReport{};
+    }
+    RunReport report = std::move(free_.back());
+    free_.pop_back();
+    return report;
+  }
+
+  void Recycle(RunReport&& report) {
+    ResetReport(&report);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kCapacity) {
+      free_.push_back(std::move(report));
+    }
+  }
+
+ private:
+  // Every field back to its default; vectors cleared, not shrunk — their
+  // capacity is the entire point of recycling.
+  static void ResetReport(RunReport* r) {
+    r->backend.clear();
+    r->outcome = NvxOutcome::kOk;
+    r->detection.reset();
+    r->divergence.reset();
+    r->aborted_all = false;
+    r->return_value.reset();
+    r->total_time = 0.0;
+    r->baseline_time.reset();
+    r->variant_finish_time.clear();
+    r->variant_standalone_time.clear();
+    r->variant_compute_scale.clear();
+    r->synced_syscalls = 0;
+    r->ignored_syscalls = 0;
+    r->lockstep_barriers = 0;
+    r->lock_acquisitions = 0;
+    r->avg_syscall_gap = 0.0;
+    r->max_syscall_gap = 0;
+    r->plan_from_cache = false;
+    r->plan_cache.reset();
+  }
+
+  static constexpr size_t kCapacity = 64;
+  std::mutex mu_;
+  std::vector<RunReport> free_;
+};
+
+ReportFreelist& GlobalReportFreelist() {
+  // Leaked intentionally: reports may be recycled during static teardown.
+  static ReportFreelist* freelist = new ReportFreelist();
+  return *freelist;
+}
+
 }  // namespace
+
+RunReport AcquireReport() { return GlobalReportFreelist().Acquire(); }
+
+void RecycleReport(RunReport&& report) { GlobalReportFreelist().Recycle(std::move(report)); }
 
 StatusOr<std::unique_ptr<Backend>> MakeTraceBackend(std::shared_ptr<const VariantPlan> plan,
                                                     std::vector<size_t> members,
                                                     bool owns_baseline) {
+  return MakeTraceBackend(std::move(plan), std::move(members), owns_baseline, nullptr);
+}
+
+StatusOr<std::unique_ptr<Backend>> MakeTraceBackend(std::shared_ptr<const VariantPlan> plan,
+                                                    std::vector<size_t> members,
+                                                    bool owns_baseline,
+                                                    std::shared_ptr<nxe::EnginePool> engine_pool) {
   if (plan == nullptr) {
     return InvalidArgument("MakeTraceBackend: null plan");
   }
@@ -315,8 +473,8 @@ StatusOr<std::unique_ptr<Backend>> MakeTraceBackend(std::shared_ptr<const Varian
     }
     seen[global] = true;
   }
-  return std::unique_ptr<Backend>(
-      new TraceBackend(std::move(plan), std::move(members), owns_baseline));
+  return std::unique_ptr<Backend>(new TraceBackend(std::move(plan), std::move(members),
+                                                   owns_baseline, std::move(engine_pool)));
 }
 
 const char* NvxOutcomeName(NvxOutcome outcome) {
@@ -341,7 +499,9 @@ StatusOr<RunReport> RunReport::Merge(size_t n_variants,
     return InvalidArgument("Merge() needs at least one partial report");
   }
 
-  RunReport merged;
+  // Start from a recycled shell: merged runs reuse the same freelist the
+  // shard reports came from, so a warm sharded session stops allocating too.
+  RunReport merged = AcquireReport();
   merged.variant_finish_time.assign(n_variants, 0.0);
   merged.variant_compute_scale.assign(n_variants, 0.0);
   bool any_standalone = false;
@@ -636,6 +796,15 @@ NvxBuilder& NvxBuilder::WithIrCache(std::shared_ptr<IrSystemCache> cache) {
   ir_cache_ = std::move(cache);
   return *this;
 }
+NvxBuilder& NvxBuilder::PooledEngines(bool pooled) {
+  pooled_engines_ = pooled;
+  return *this;
+}
+NvxBuilder& NvxBuilder::WithEnginePool(std::shared_ptr<nxe::EnginePool> pool) {
+  engine_pool_ = std::move(pool);
+  pooled_engines_ = engine_pool_ != nullptr;
+  return *this;
+}
 
 Status NvxBuilder::ValidateTarget() const {
   const int targets = (module_ != nullptr ? 1 : 0) + (benchmark_.has_value() ? 1 : 0) +
@@ -720,6 +889,14 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
   }
   std::shared_ptr<const VariantPlan> shared = std::move(*resolved);
 
+  // One engine pool per session unless the caller shared one across
+  // sessions; every shard backend of this session draws from it (distinct
+  // checkouts, so concurrent shards never contend for one workspace).
+  std::shared_ptr<nxe::EnginePool> engine_pool = engine_pool_;
+  if (engine_pool == nullptr && pooled_engines_) {
+    engine_pool = std::make_shared<nxe::EnginePool>();
+  }
+
   if (remote_) {
     // The group count defaults to the fleet size; Shards(k) overrides it so
     // Remote ≡ Shards(k) equivalence can be tested group-for-group.
@@ -735,8 +912,9 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
   if (!shards_.has_value()) {
     std::vector<size_t> all(shared->n_variants());
     std::iota(all.begin(), all.end(), 0);
-    return std::unique_ptr<Backend>(
-        new TraceBackend(std::move(shared), std::move(all), /*owns_baseline=*/true));
+    return std::unique_ptr<Backend>(new TraceBackend(std::move(shared), std::move(all),
+                                                     /*owns_baseline=*/true,
+                                                     std::move(engine_pool)));
   }
 
   // Shard 0 carries the baseline/leader slot; followers are dealt
@@ -746,8 +924,8 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
   std::vector<std::unique_ptr<Backend>> shard_backends;
   std::vector<std::vector<size_t>> groups = ShardMemberGroups(shared->n_variants(), *shards_);
   for (size_t j = 0; j < groups.size(); ++j) {
-    shard_backends.push_back(std::unique_ptr<Backend>(
-        new TraceBackend(shared, std::move(groups[j]), /*owns_baseline=*/j == 0)));
+    shard_backends.push_back(std::unique_ptr<Backend>(new TraceBackend(
+        shared, std::move(groups[j]), /*owns_baseline=*/j == 0, engine_pool)));
   }
   return std::unique_ptr<Backend>(new ShardedBackend(std::move(shared), std::move(shard_backends),
                                                      shard_pool, backend_owns_pool));

@@ -148,6 +148,17 @@ StatusOr<std::vector<nxe::VariantTrace>> BuildPlanTraces(const VariantPlan& plan
                                                          const std::vector<size_t>& members,
                                                          uint64_t seed) {
   std::vector<nxe::VariantTrace> traces;
+  Status status = BuildPlanTraces(plan, members, seed, &traces);
+  if (!status.ok()) {
+    return status;
+  }
+  return traces;
+}
+
+Status BuildPlanTraces(const VariantPlan& plan, const std::vector<size_t>& members,
+                       uint64_t seed, std::vector<nxe::VariantTrace>* out) {
+  std::vector<nxe::VariantTrace>& traces = *out;
+  traces.clear();
   traces.reserve(members.size());
   for (size_t global : members) {
     traces.push_back(BuildOneTrace(plan, plan.specs[global], seed));
@@ -179,6 +190,7 @@ StatusOr<std::vector<nxe::VariantTrace>> BuildPlanTraces(const VariantPlan& plan
       }
     }
     if (sites.empty()) {
+      traces.clear();
       return FailedPrecondition("InjectDivergence(): variant " +
                                 std::to_string(injection.variant) +
                                 " has no sync-relevant syscall to diverge at");
@@ -187,7 +199,7 @@ StatusOr<std::vector<nxe::VariantTrace>> BuildPlanTraces(const VariantPlan& plan
     rec.payload_digest = sc::DigestString(injection.payload);
     rec.args[1] = static_cast<int64_t>(injection.payload.size());
   }
-  return traces;
+  return Status::Ok();
 }
 
 std::vector<std::vector<size_t>> ShardMemberGroups(size_t n_variants, size_t k) {

@@ -127,6 +127,12 @@ StatusOr<std::vector<nxe::VariantTrace>> BuildPlanTraces(const VariantPlan& plan
                                                          const std::vector<size_t>& members,
                                                          uint64_t seed);
 
+// Out-param form for warm callers: `out` is cleared and refilled, reusing
+// its element capacity where the generators allow. On error `out` is left
+// cleared. Identical traces to the value-returning overload.
+Status BuildPlanTraces(const VariantPlan& plan, const std::vector<size_t>& members,
+                       uint64_t seed, std::vector<nxe::VariantTrace>* out);
+
 // The session's variant slots dealt into k shard groups — the single home of
 // the grouping rule, shared by ShardedBackend (in-process fan-out) and
 // RemoteBackend (multi-host fan-out) so both dispatchers produce identical

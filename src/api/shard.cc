@@ -10,13 +10,44 @@
 namespace bunshin {
 namespace api {
 
+// Per-run dispatch state, shared with the pool helpers. Helpers hold raw
+// Backend views: every dereference belongs to a claimed shard, and the
+// dispatching frame drains one completion event per shard before returning,
+// so no helper touches a backend after Run() ends — late-waking helpers that
+// lost the claim race only read the atomic and exit.
+//
+// Blocks are pooled across runs (the request strings, shard view, collection
+// vectors and the completion queue's deque all keep their capacity), but a
+// block only re-enters service once every late helper has dropped its
+// reference — see TakeDispatch().
+struct ShardedBackend::Dispatch {
+  RunRequest request;
+  std::vector<const Backend*> shards;
+  // The claim counter is hammered by every helper; keep it off the cache
+  // lines holding the read-mostly request/shard view and the queue's mutex.
+  alignas(64) std::atomic<size_t> next{0};
+  alignas(64) CompletionQueue done;
+  // Dispatcher-only collection scratch, pooled with the block.
+  std::vector<std::optional<StatusOr<RunReport>>> by_shard;
+  std::vector<PartialReport> partials;
+};
+
 ShardedBackend::ShardedBackend(std::shared_ptr<const VariantPlan> plan,
                                std::vector<std::unique_ptr<Backend>> shards,
                                const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool)
     : plan_(std::move(plan)),
       shards_(std::move(shards)),
       pool_owner_(owns_pool ? pool : nullptr),
-      pool_(pool.get()) {}
+      pool_(pool.get()) {
+  // Snapshot each shard's coverage once: shard_coverage() returns by value,
+  // and re-fetching it per run would put an allocation on the warm path.
+  coverage_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    coverage_.push_back(shard->shard_coverage());
+  }
+}
+
+ShardedBackend::~ShardedBackend() = default;
 
 const char* ShardedBackend::name() const { return shards_.front()->name(); }
 
@@ -28,28 +59,48 @@ const std::vector<std::vector<std::string>>* ShardedBackend::sanitizer_groups() 
   return plan_->sanitizer_groups.empty() ? nullptr : &plan_->sanitizer_groups;
 }
 
+std::shared_ptr<ShardedBackend::Dispatch> ShardedBackend::TakeDispatch() const {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    for (auto& slot : dispatch_free_) {
+      // use_count() == 1 means every helper from the block's previous run
+      // has exited its claim loop; only then is reuse race-free. Helpers
+      // that still hold a reference leave the block parked for next time.
+      if (slot.use_count() == 1) {
+        std::shared_ptr<Dispatch> dispatch = std::move(slot);
+        slot = std::move(dispatch_free_.back());
+        dispatch_free_.pop_back();
+        return dispatch;
+      }
+    }
+  }
+  auto dispatch = std::make_shared<Dispatch>();
+  dispatch->shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    dispatch->shards.push_back(shard.get());
+  }
+  return dispatch;
+}
+
 StatusOr<RunReport> ShardedBackend::Run(const RunRequest& request) const {
   const size_t n_shards = shards_.size();
 
-  // Per-run dispatch state, shared with the pool helpers. Helpers hold raw
-  // Backend views: every dereference belongs to a claimed shard, and this
-  // frame drains one completion event per shard before returning, so no
-  // helper touches a backend after Run() ends — late-waking helpers that
-  // lost the claim race only read the atomic and exit.
-  struct Dispatch {
-    Dispatch(RunRequest r, const std::vector<std::unique_ptr<Backend>>& backends)
-        : request(std::move(r)) {
-      shards.reserve(backends.size());
-      for (const auto& backend : backends) {
-        shards.push_back(backend.get());
+  std::shared_ptr<Dispatch> dispatch = TakeDispatch();
+  dispatch->request = request;  // copy-assign: a warm block keeps capacity
+  dispatch->next.store(0, std::memory_order_relaxed);
+
+  // Park the block for reuse on every exit path (including shard errors).
+  struct DispatchReturn {
+    const ShardedBackend* backend;
+    std::shared_ptr<Dispatch>& dispatch;
+    ~DispatchReturn() {
+      static constexpr size_t kMaxFree = 8;
+      std::lock_guard<std::mutex> lock(backend->dispatch_mu_);
+      if (backend->dispatch_free_.size() < kMaxFree) {
+        backend->dispatch_free_.push_back(std::move(dispatch));
       }
     }
-    const RunRequest request;
-    std::vector<const Backend*> shards;
-    std::atomic<size_t> next{0};
-    CompletionQueue done;
-  };
-  auto dispatch = std::make_shared<Dispatch>(request, shards_);
+  } dispatch_return{this, dispatch};
 
   auto claim_shards = [dispatch] {
     for (size_t i; (i = dispatch->next.fetch_add(1)) < dispatch->shards.size();) {
@@ -69,26 +120,31 @@ StatusOr<RunReport> ShardedBackend::Run(const RunRequest& request) const {
 
   // Collect into shard order so merging (and error reporting) is
   // deterministic regardless of completion order.
-  std::vector<std::optional<StatusOr<RunReport>>> by_shard(n_shards);
+  dispatch->by_shard.clear();
+  dispatch->by_shard.resize(n_shards);
   for (size_t i = 0; i < n_shards; ++i) {
     CompletionEvent event = dispatch->done.Wait();
-    by_shard[event.token].emplace(std::move(event.report));
+    dispatch->by_shard[event.token].emplace(std::move(event.report));
   }
 
-  std::vector<PartialReport> partials;
-  partials.reserve(n_shards);
+  dispatch->partials.resize(n_shards);
   for (size_t i = 0; i < n_shards; ++i) {
-    StatusOr<RunReport>& report = *by_shard[i];
+    StatusOr<RunReport>& report = *dispatch->by_shard[i];
     if (!report.ok()) {
       return report.status();
     }
-    PartialReport partial;
-    partial.variant_index = shards_[i]->shard_coverage();
+    PartialReport& partial = dispatch->partials[i];
+    partial.variant_index = coverage_[i];  // copy-assign into warm capacity
     partial.owns_baseline = shards_[i]->owns_baseline();
     partial.report = std::move(*report);
-    partials.push_back(std::move(partial));
   }
-  return RunReport::Merge(plan_->n_variants(), partials);
+  StatusOr<RunReport> merged = RunReport::Merge(plan_->n_variants(), dispatch->partials);
+  // Merge copied what it needed; hand the shard reports' arenas back to the
+  // freelist the shard backends draw from.
+  for (PartialReport& partial : dispatch->partials) {
+    RecycleReport(std::move(partial.report));
+  }
+  return merged;
 }
 
 }  // namespace api

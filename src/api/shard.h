@@ -52,6 +52,7 @@ class ShardedBackend final : public Backend {
   ShardedBackend(std::shared_ptr<const VariantPlan> plan,
                  std::vector<std::unique_ptr<Backend>> shards,
                  const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool);
+  ~ShardedBackend() override;
 
   // Reports keep the execution substrate's identity (e.g. "trace").
   const char* name() const override;
@@ -70,10 +71,21 @@ class ShardedBackend final : public Backend {
   support::ThreadPool* pool() const { return pool_; }
 
  private:
+  struct Dispatch;  // per-run fan-out state, pooled across runs (shard.cc)
+  std::shared_ptr<Dispatch> TakeDispatch() const;
+
   std::shared_ptr<const VariantPlan> plan_;
   std::vector<std::unique_ptr<Backend>> shards_;
+  // Each shard's slot coverage, snapshotted once at construction —
+  // shard_coverage() returns by value, which would allocate on every run.
+  std::vector<std::vector<size_t>> coverage_;
   std::shared_ptr<support::ThreadPool> pool_owner_;  // null when not owning
   support::ThreadPool* pool_ = nullptr;              // the usable view
+
+  // Warm-run freelist of Dispatch blocks. A block is only reusable once
+  // every late-waking pool helper has dropped its reference (use_count 1).
+  mutable std::mutex dispatch_mu_;
+  mutable std::vector<std::shared_ptr<Dispatch>> dispatch_free_;
 };
 
 }  // namespace api

@@ -104,7 +104,8 @@ class WireReader {
 // ---------------------------------------------------------------------------
 
 inline constexpr uint32_t kWireMagic = 0x4E565857;  // "NVXW"
-inline constexpr uint16_t kWireVersion = 1;
+// v2 added the engine-pool counters to ExecutorOccupancy.
+inline constexpr uint16_t kWireVersion = 2;
 // Upper bound on a frame payload; anything larger is a corrupt length field.
 inline constexpr uint64_t kMaxFramePayload = 256ull << 20;
 inline constexpr size_t kFrameHeaderSize = 24;
@@ -164,6 +165,11 @@ struct ExecutorOccupancy {
   uint64_t queue_depth = 0;   // runs accepted but not yet executing
   uint64_t in_flight = 0;     // runs executing right now
   uint64_t plans_cached = 0;  // entries in the executor's plan cache
+  // Cumulative engine-pool counters (v2): how often the executor's warm-run
+  // path served pooled engine state vs built it fresh. Both zero when the
+  // daemon runs with pooling disabled.
+  uint64_t engine_pool_hits = 0;
+  uint64_t engine_pool_misses = 0;
   bool plan_cache_hit = false;  // this request's plan skipped decode/rebuild
 };
 

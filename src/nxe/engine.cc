@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <optional>
+#include <type_traits>
 
 #include "src/support/enum_name.h"
 
@@ -48,7 +50,10 @@ double CostModel::SerializationMultiplier(size_t n_variants, size_t threads_per_
 
 double CostModel::WakeupCost() const { return wait_wakeup * (1.0 + load_wait_coeff * background_load); }
 
-namespace {
+// Scheduler-internal types that also appear inside EngineWorkspace::Impl
+// (which has external linkage, so these cannot live in the anonymous
+// namespace). Everything here is an implementation detail of this file.
+namespace detail {
 
 // Why a thread is parked at its current action.
 enum class Park {
@@ -60,27 +65,9 @@ enum class Park {
   kDone,
 };
 
-struct ThreadState {
-  size_t cursor = 0;
-  double clock = 0.0;
-  size_t stream_pos = 0;  // sync-relevant syscalls completed
-  Park park = Park::kNone;
-};
-
 struct OrderEntry {
   size_t thread = 0;
   double leader_time = 0.0;
-};
-
-struct PublishedSlot {
-  sc::SyscallRecord record;
-  double avail_time = 0.0;  // when followers may fetch results
-};
-
-struct VariantState {
-  std::vector<ThreadState> threads;
-  size_t order_cursor = 0;        // follower replay position in order_list
-  double last_acquire_time = 0.0;  // completion time of this variant's last acquisition
 };
 
 // Leader-trace shape, gathered by the shared reserve pre-pass: arena sizes
@@ -93,36 +80,6 @@ struct LeaderSummary {
   size_t locks = 0;
   bool has_barrier_or_detect = false;
 };
-
-LeaderSummary SummarizeLeader(const VariantTrace& leader) {
-  LeaderSummary s;
-  const size_t n_threads = leader.threads.size();
-  s.pub_base.assign(n_threads + 1, 0);
-  for (size_t t = 0; t < n_threads; ++t) {
-    size_t syncs = 0;
-    for (const auto& action : leader.threads[t].actions) {
-      switch (action.kind) {
-        case ActionKind::kSyscall:
-          if (sc::IsSyncRelevant(action.syscall.no)) {
-            ++syncs;
-          }
-          break;
-        case ActionKind::kLockAcquire:
-          ++s.locks;
-          break;
-        case ActionKind::kBarrier:
-        case ActionKind::kDetect:
-          s.has_barrier_or_detect = true;
-          break;
-        default:
-          break;
-      }
-    }
-    s.pub_base[t + 1] = s.pub_base[t] + syncs;
-  }
-  s.total_syncs = s.pub_base[n_threads];
-  return s;
-}
 
 // Incremental §5.3 attack-window merge, shared by both Run() schedulers.
 // For every published slot k (publish time W_k) the metric needs
@@ -219,7 +176,285 @@ struct GapMerge {
       }
     }
   }
+
+  template <typename Fn>
+  void ForEachBuffer(Fn&& fn) {
+    fn(min_consumed);
+    fn(ptr);
+    fn(pend_lo);
+    fn(pend_hi);
+  }
 };
+
+// Flat per-(variant, thread) record of the event-driven scheduler. Padded to
+// a 32-byte power-of-two stride: the scheduler walks millions of these per
+// second, and a power-of-two stride keeps any single record from straddling
+// a cache line (cursor/stream_pos are bounded by the trace length, which a
+// 32-bit index covers with orders of magnitude to spare).
+struct EvThread {
+  double clock = 0.0;
+  uint32_t cursor = 0;
+  uint32_t stream_pos = 0;  // sync-relevant syscalls completed
+  Park park = Park::kNone;
+  uint32_t pad0 = 0;
+  uint64_t pad1 = 0;
+};
+static_assert(sizeof(EvThread) == 32, "EvThread must keep its power-of-two stride");
+
+// One variant's walk of the current thread index (eager fast path).
+struct Walk {
+  const ThreadAction* cur = nullptr;
+  const ThreadAction* end = nullptr;
+  double clock = 0.0;
+  size_t pos = 0;       // sync-relevant syscalls completed
+  bool parked = false;  // at a sync-relevant syscall (else: done)
+};
+
+// ---------------------------------------------------------------------------
+// Warm-run buffer structs: every arena a scheduler uses, owned by an
+// EngineWorkspace so repeat runs reset capacity-warm vectors in place
+// instead of reconstructing them. The schedulers bind these by reference;
+// a null-workspace run binds a stack-local instance and behaves exactly as
+// the pre-workspace code did. ForEachBuffer is the single enumeration the
+// debug poison/verify tripwires walk.
+// ---------------------------------------------------------------------------
+
+struct EventBuffers {
+  std::vector<EvThread> th;  // flattened (v, t) -> v * T + t
+  std::vector<size_t> pub_base;
+  std::vector<const sc::SyscallRecord*> pub_rec;
+  std::vector<double> pub_avail;
+  std::vector<uint32_t> pub_consumed;
+  std::vector<double> cons_time;
+  std::vector<size_t> cons_count;
+  GapMerge gap;
+  std::vector<uint32_t> sys_parked;
+  std::vector<uint32_t> barrier_parked;
+  std::vector<uint32_t> done_count;
+  std::vector<uint32_t> waiters;
+  std::vector<uint32_t> waiters_count;
+  std::vector<size_t> leader_blocked;
+  std::vector<OrderEntry> order_list;
+  std::vector<size_t> order_cursor;
+  std::vector<double> last_acquire;
+  std::vector<uint32_t> lockstep_ready, publish_ready, consume_ready, barrier_ready;
+  std::vector<char> in_lockstep, in_publish, in_consume, in_barrier;
+  std::vector<char> replay_runnable;  // leader-order prefetch-chain flags
+  std::vector<uint32_t> advance_q;
+  std::vector<uint32_t> batch_t, batch_p, batch_vt;
+  std::vector<uint32_t> batch_v;
+
+  template <typename Fn>
+  void ForEachBuffer(Fn&& fn) {
+    fn(th);
+    fn(pub_base);
+    fn(pub_rec);
+    fn(pub_avail);
+    fn(pub_consumed);
+    fn(cons_time);
+    fn(cons_count);
+    gap.ForEachBuffer(fn);
+    fn(sys_parked);
+    fn(barrier_parked);
+    fn(done_count);
+    fn(waiters);
+    fn(waiters_count);
+    fn(leader_blocked);
+    fn(order_list);
+    fn(order_cursor);
+    fn(last_acquire);
+    fn(lockstep_ready);
+    fn(publish_ready);
+    fn(consume_ready);
+    fn(barrier_ready);
+    fn(in_lockstep);
+    fn(in_publish);
+    fn(in_consume);
+    fn(in_barrier);
+    fn(replay_runnable);
+    fn(advance_q);
+    fn(batch_t);
+    fn(batch_p);
+    fn(batch_vt);
+    fn(batch_v);
+  }
+};
+
+struct EagerBuffers {
+  std::vector<double> startup;
+  std::vector<double> vscale;
+  std::vector<const sc::SyscallRecord*> pub_rec;
+  std::vector<double> pub_avail;
+  std::vector<uint32_t> pub_consumed;
+  std::vector<double> cons_time;
+  std::vector<size_t> cons_count;
+  GapMerge gap;
+  std::vector<Walk> walks;
+  std::vector<double> finish;
+
+  template <typename Fn>
+  void ForEachBuffer(Fn&& fn) {
+    fn(startup);
+    fn(vscale);
+    fn(pub_rec);
+    fn(pub_avail);
+    fn(pub_consumed);
+    fn(cons_time);
+    fn(cons_count);
+    gap.ForEachBuffer(fn);
+    fn(walks);
+    fn(finish);
+  }
+};
+
+struct BaselineBuffers {
+  std::vector<double> clock;
+  std::vector<size_t> cursor;
+  std::vector<char> done;  // vector<bool> cannot be byte-poisoned
+  std::vector<size_t> at_barrier;
+
+  template <typename Fn>
+  void ForEachBuffer(Fn&& fn) {
+    fn(clock);
+    fn(cursor);
+    fn(done);
+    fn(at_barrier);
+  }
+};
+
+constexpr unsigned char kPoisonByte = 0xA5;
+
+}  // namespace detail
+
+// The workspace owns one of each buffer family plus the finish-time spare
+// that closes the report-vector allocation. Buffer families are 64-byte
+// aligned so two workspaces packed into one pool arena (or a workspace next
+// to pool bookkeeping) never false-share a line across worker threads.
+struct EngineWorkspace::Impl {
+  detail::LeaderSummary leader;
+  alignas(64) detail::EventBuffers event;
+  alignas(64) detail::EagerBuffers eager;
+  alignas(64) detail::BaselineBuffers baseline;
+  // Capacity donor for SyncReport::variant_finish_time (see
+  // RecycleFinishBuffer); moved into the report before a run, handed back by
+  // the caller after it copied the values out.
+  std::vector<double> finish_spare;
+
+  template <typename Fn>
+  void ForEachBuffer(Fn&& fn) {
+    fn(leader.pub_base);
+    event.ForEachBuffer(fn);
+    eager.ForEachBuffer(fn);
+    baseline.ForEachBuffer(fn);
+    fn(finish_spare);
+  }
+};
+
+EngineWorkspace::EngineWorkspace() : impl_(std::make_unique<Impl>()) {}
+EngineWorkspace::~EngineWorkspace() = default;
+EngineWorkspace::EngineWorkspace(EngineWorkspace&&) noexcept = default;
+EngineWorkspace& EngineWorkspace::operator=(EngineWorkspace&&) noexcept = default;
+
+void EngineWorkspace::RecycleFinishBuffer(std::vector<double> buffer) {
+  if (buffer.capacity() > impl_->finish_spare.capacity()) {
+    buffer.clear();
+    impl_->finish_spare = std::move(buffer);
+  }
+}
+
+void EngineWorkspace::Poison() {
+#ifndef NDEBUG
+  impl_->ForEachBuffer([](auto& vec) {
+    using Element = typename std::decay_t<decltype(vec)>::value_type;
+    static_assert(std::is_trivially_copyable_v<Element>,
+                  "poisoning assumes trivially copyable buffer elements");
+    if (!vec.empty()) {
+      std::memset(vec.data(), detail::kPoisonByte, vec.size() * sizeof(Element));
+    }
+  });
+#endif
+}
+
+bool EngineWorkspace::VerifyPoison() const {
+#ifndef NDEBUG
+  bool intact = true;
+  impl_->ForEachBuffer([&intact](auto& vec) {
+    using Element = typename std::decay_t<decltype(vec)>::value_type;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(vec.data());
+    for (size_t i = 0, n = vec.size() * sizeof(Element); i < n; ++i) {
+      if (bytes[i] != detail::kPoisonByte) {
+        intact = false;
+        return;
+      }
+    }
+  });
+  return intact;
+#else
+  return true;
+#endif
+}
+
+namespace {
+
+using detail::EvThread;
+using detail::GapMerge;
+using detail::LeaderSummary;
+using detail::OrderEntry;
+using detail::Park;
+using detail::Walk;
+
+// Reference-scheduler-only state (Engine::RunReference allocates fresh per
+// run by design — it is the oracle, not a hot path).
+struct ThreadState {
+  size_t cursor = 0;
+  double clock = 0.0;
+  size_t stream_pos = 0;  // sync-relevant syscalls completed
+  Park park = Park::kNone;
+};
+
+struct PublishedSlot {
+  sc::SyscallRecord record;
+  double avail_time = 0.0;  // when followers may fetch results
+};
+
+struct VariantState {
+  std::vector<ThreadState> threads;
+  size_t order_cursor = 0;         // follower replay position in order_list
+  double last_acquire_time = 0.0;  // completion time of this variant's last acquisition
+};
+
+// Out-param form so a warm workspace's summary resets in place (assign on a
+// capacity-warm vector) instead of reallocating per run.
+void SummarizeLeader(const VariantTrace& leader, LeaderSummary* s) {
+  const size_t n_threads = leader.threads.size();
+  s->pub_base.assign(n_threads + 1, 0);
+  s->total_syncs = 0;
+  s->locks = 0;
+  s->has_barrier_or_detect = false;
+  for (size_t t = 0; t < n_threads; ++t) {
+    size_t syncs = 0;
+    for (const auto& action : leader.threads[t].actions) {
+      switch (action.kind) {
+        case ActionKind::kSyscall:
+          if (sc::IsSyncRelevant(action.syscall.no)) {
+            ++syncs;
+          }
+          break;
+        case ActionKind::kLockAcquire:
+          ++s->locks;
+          break;
+        case ActionKind::kBarrier:
+        case ActionKind::kDetect:
+          s->has_barrier_or_detect = true;
+          break;
+        default:
+          break;
+      }
+    }
+    s->pub_base[t + 1] = s->pub_base[t] + syncs;
+  }
+  s->total_syncs = s->pub_base[n_threads];
+}
 
 // ---------------------------------------------------------------------------
 // Event-driven scheduler (Engine::Run).
@@ -264,29 +499,66 @@ struct GapMerge {
 // pass. After the reserve pre-pass the steady state allocates nothing.
 class EventScheduler {
  public:
+  // All vector state lives in the caller-provided EventBuffers: a warm
+  // workspace hands in capacity-warm arenas (reset in place by Execute), a
+  // cold run hands in a stack-local instance. The scheduler object itself is
+  // still per-run; reference members keep every method body identical to the
+  // owning-vector version.
   EventScheduler(const EngineConfig& config, const std::vector<VariantTrace>& variants,
-                 const LeaderSummary& leader)
+                 const LeaderSummary& leader, detail::EventBuffers& b)
       : config_(config),
         cm_(config.cost),
         variants_(variants),
         leader_(leader),
         V_(variants.size()),
         T_(variants[0].threads.size()),
-        selective_(config.mode == LockstepMode::kSelective) {}
+        selective_(config.mode == LockstepMode::kSelective),
+        th_(b.th),
+        pub_base_(b.pub_base),
+        pub_rec_(b.pub_rec),
+        pub_avail_(b.pub_avail),
+        pub_consumed_(b.pub_consumed),
+        cons_time_(b.cons_time),
+        cons_count_(b.cons_count),
+        gap_(b.gap),
+        sys_parked_(b.sys_parked),
+        barrier_parked_(b.barrier_parked),
+        done_count_(b.done_count),
+        waiters_(b.waiters),
+        waiters_count_(b.waiters_count),
+        leader_blocked_(b.leader_blocked),
+        order_list_(b.order_list),
+        order_cursor_(b.order_cursor),
+        last_acquire_(b.last_acquire),
+        lockstep_ready_(b.lockstep_ready),
+        publish_ready_(b.publish_ready),
+        consume_ready_(b.consume_ready),
+        barrier_ready_(b.barrier_ready),
+        in_lockstep_(b.in_lockstep),
+        in_publish_(b.in_publish),
+        in_consume_(b.in_consume),
+        in_barrier_(b.in_barrier),
+        replay_runnable_(b.replay_runnable),
+        advance_q_(b.advance_q),
+        batch_t_(b.batch_t),
+        batch_p_(b.batch_p),
+        batch_vt_(b.batch_vt),
+        batch_v_(b.batch_v) {}
+
+  // Donates a capacity-warm vector for report_.variant_finish_time so the
+  // report's only vector reuses recycled capacity (values are assigned
+  // fresh). TakeFinishBuffer() retrieves it on an eager-path bail so the
+  // follow-up aligned run can be reseeded.
+  void SeedFinish(std::vector<double> spare) {
+    report_.variant_finish_time = std::move(spare);
+  }
+  std::vector<double> TakeFinishBuffer() {
+    return std::move(report_.variant_finish_time);
+  }
 
   StatusOr<SyncReport> Execute();
 
  private:
-  // 24 bytes: the scheduler walks millions of these per second, so the flat
-  // arena is kept cache-dense (cursor/stream_pos are bounded by the trace
-  // length, which a 32-bit index covers with orders of magnitude to spare).
-  struct EvThread {
-    double clock = 0.0;
-    uint32_t cursor = 0;
-    uint32_t stream_pos = 0;  // sync-relevant syscalls completed
-    Park park = Park::kNone;
-  };
-
   // Queue entries carry (v, t) packed into one word — the hot loops never
   // divide by T_ to recover coordinates. Engine::Run routes sessions with
   // more than 0xffff variants or threads to RunReference, so the packing
@@ -304,6 +576,13 @@ class EventScheduler {
     if (!flags[idx]) {
       flags[idx] = 1;
       set.push_back(entry);
+    }
+  }
+
+  void MarkReplayRunnable(size_t v) {
+    if (!replay_runnable_[v]) {
+      replay_runnable_[v] = 1;
+      ++replay_runnable_count_;
     }
   }
 
@@ -394,7 +673,7 @@ class EventScheduler {
           ++leader_lock_count_;
         } else if (order_cursor_[v] < order_list_.size() &&
                    order_list_[order_cursor_[v]].thread == t) {
-          AddReady(replay_ready_, in_replay_, v, static_cast<uint32_t>(v));
+          MarkReplayRunnable(v);
         }
         break;
       case Park::kBarrier:
@@ -617,7 +896,7 @@ class EventScheduler {
     const size_t new_idx = order_list_.size() - 1;
     for (size_t v = 1; v < V_; ++v) {
       if (order_cursor_[v] == new_idx && th_[v * T_ + best_t].park == Park::kLock) {
-        AddReady(replay_ready_, in_replay_, v, static_cast<uint32_t>(v));
+        MarkReplayRunnable(v);
       }
     }
   }
@@ -636,7 +915,7 @@ class EventScheduler {
     advance_q_.push_back(PackVt(v, entry.thread));
     if (order_cursor_[v] < order_list_.size() &&
         th_[v * T_ + order_list_[order_cursor_[v]].thread].park == Park::kLock) {
-      AddReady(replay_ready_, in_replay_, v, static_cast<uint32_t>(v));
+      MarkReplayRunnable(v);
     }
   }
 
@@ -663,42 +942,48 @@ class EventScheduler {
   double compute_factor_ = 1.0;
 
   SyncReport report_;
-  std::vector<EvThread> th_;  // flattened (v, t) -> v * T_ + t
+  std::vector<EvThread>& th_;  // flattened (v, t) -> v * T_ + t
 
   // Published-stream arenas (selective mode), slot (t, k) at pub_base_[t]+k.
-  std::vector<size_t> pub_base_;  // T_ + 1 prefix sums of leader sync counts
-  size_t S_ = 0;                  // total leader sync-relevant syscalls
-  std::vector<const sc::SyscallRecord*> pub_rec_;
-  std::vector<double> pub_avail_;
-  std::vector<uint32_t> pub_consumed_;
+  std::vector<size_t>& pub_base_;  // T_ + 1 prefix sums of leader sync counts
+  size_t S_ = 0;                   // total leader sync-relevant syscalls
+  std::vector<const sc::SyscallRecord*>& pub_rec_;
+  std::vector<double>& pub_avail_;
+  std::vector<uint32_t>& pub_consumed_;
   // Consume times, follower f = v - 1: (t, k) at f * S_ + pub_base_[t] + k.
-  std::vector<double> cons_time_;
-  std::vector<size_t> cons_count_;  // per (f, t): entries recorded
-  GapMerge gap_;
+  std::vector<double>& cons_time_;
+  std::vector<size_t>& cons_count_;  // per (f, t): entries recorded
+  GapMerge& gap_;
 
   // Readiness indices.
-  std::vector<uint32_t> sys_parked_;      // per t: variants parked at a syscall
-  std::vector<uint32_t> barrier_parked_;  // per v: threads parked at a barrier
-  std::vector<uint32_t> done_count_;      // per v: threads exited
-  std::vector<uint32_t> waiters_;         // per t: followers awaiting the next slot
-  std::vector<uint32_t> waiters_count_;
-  std::vector<size_t> leader_blocked_;  // per t: ring slot awaited, or SIZE_MAX
+  std::vector<uint32_t>& sys_parked_;      // per t: variants parked at a syscall
+  std::vector<uint32_t>& barrier_parked_;  // per v: threads parked at a barrier
+  std::vector<uint32_t>& done_count_;      // per v: threads exited
+  std::vector<uint32_t>& waiters_;         // per t: followers awaiting the next slot
+  std::vector<uint32_t>& waiters_count_;
+  std::vector<size_t>& leader_blocked_;  // per t: ring slot awaited, or SIZE_MAX
   size_t live_ = 0;
   size_t detect_count_ = 0;
   size_t leader_lock_count_ = 0;
 
   // Lock total order.
-  std::vector<OrderEntry> order_list_;
-  std::vector<size_t> order_cursor_;   // per v
-  std::vector<double> last_acquire_;   // per v
+  std::vector<OrderEntry>& order_list_;
+  std::vector<size_t>& order_cursor_;   // per v
+  std::vector<double>& last_acquire_;   // per v
 
   // Ready sets (entries are stable until executed) + membership flags.
-  std::vector<uint32_t> lockstep_ready_, publish_ready_, consume_ready_;
-  std::vector<uint32_t> barrier_ready_, replay_ready_;
-  std::vector<char> in_lockstep_, in_publish_, in_consume_, in_barrier_, in_replay_;
-  std::vector<uint32_t> advance_q_;
+  std::vector<uint32_t>&lockstep_ready_, &publish_ready_, &consume_ready_;
+  std::vector<uint32_t>& barrier_ready_;
+  std::vector<char>&in_lockstep_, &in_publish_, &in_consume_, &in_barrier_;
+  // Leader-order prefetch chain (replaces the replay ready set + batch
+  // snapshot): per-variant runnable flags scanned in ascending v, which is
+  // exactly the order the old sorted batch executed in.
+  std::vector<char>& replay_runnable_;
+  size_t replay_runnable_count_ = 0;
+  std::vector<uint32_t>& advance_q_;
   // Batch scratch, reused every round.
-  std::vector<uint32_t> batch_t_, batch_p_, batch_vt_, batch_v_;
+  std::vector<uint32_t>&batch_t_, &batch_p_, &batch_vt_;
+  std::vector<uint32_t>& batch_v_;
 };
 
 StatusOr<SyncReport> EventScheduler::Execute() {
@@ -748,20 +1033,28 @@ StatusOr<SyncReport> EventScheduler::Execute() {
   barrier_parked_.assign(V_, 0);
   done_count_.assign(V_, 0);
   live_ = V_ * T_;
+  // Reused buffers may carry a previous run's contents — clear before
+  // reserving (a fresh-buffer run clears empties, a no-op).
+  order_list_.clear();
   order_list_.reserve(leader_.locks);
   order_cursor_.assign(V_, 0);
   last_acquire_.assign(V_, 0.0);
 
+  lockstep_ready_.clear();
+  publish_ready_.clear();
+  consume_ready_.clear();
+  barrier_ready_.clear();
   lockstep_ready_.reserve(T_);
   publish_ready_.reserve(T_);
   consume_ready_.reserve(V_ * T_);
   barrier_ready_.reserve(V_);
-  replay_ready_.reserve(V_);
   in_lockstep_.assign(T_, 0);
   in_publish_.assign(T_, 0);
   in_consume_.assign(V_ * T_, 0);
   in_barrier_.assign(V_, 0);
-  in_replay_.assign(V_, 0);
+  replay_runnable_.assign(V_, 0);
+  replay_runnable_count_ = 0;
+  advance_q_.clear();
   advance_q_.reserve(V_ * T_);
   batch_t_.reserve(T_);
   batch_p_.reserve(T_);
@@ -870,18 +1163,23 @@ StatusOr<SyncReport> EventScheduler::Execute() {
     }
 
     // --- Lock acquisitions (weak determinism, §3.3/§4.2) --------------------
-    if (leader_lock_count_ > 0 || !replay_ready_.empty()) {
+    if (leader_lock_count_ > 0 || replay_runnable_count_ > 0) {
       if (leader_lock_count_ > 0) {
-        ExecuteLeaderLock();  // may ready same-round follower replays
+        ExecuteLeaderLock();  // may flag same-round follower replays
       }
-      batch_v_.assign(replay_ready_.begin(), replay_ready_.end());
-      replay_ready_.clear();
-      if (batch_v_.size() > 1) {
-        std::sort(batch_v_.begin(), batch_v_.end());
-      }
-      for (const uint32_t v : batch_v_) {
-        in_replay_[v] = 0;
-        ExecuteReplay(v);
+      if (replay_runnable_count_ > 0) {
+        // Prefetch-chain scan in ascending v — the order the old sorted
+        // batch executed in. A replay that re-arms itself inside
+        // ExecuteReplay sets the flag at an index this scan has already
+        // passed, so it lands next round, exactly like the old
+        // snapshot-then-execute batch.
+        for (size_t v = 1; v < V_; ++v) {
+          if (replay_runnable_[v]) {
+            replay_runnable_[v] = 0;
+            --replay_runnable_count_;
+            ExecuteReplay(v);
+          }
+        }
       }
       continue;
     }
@@ -973,30 +1271,33 @@ StatusOr<SyncReport> EventScheduler::Execute() {
 // partial pass and is rare: benign sessions never bail.
 class EagerScheduler {
  public:
+  // Arenas live in the caller-provided EagerBuffers (warm workspace or a
+  // stack-local for cold runs); the scheduler object is per-run.
   EagerScheduler(const EngineConfig& config, const std::vector<VariantTrace>& variants,
-                 const LeaderSummary& leader)
+                 const LeaderSummary& leader, detail::EagerBuffers& b)
       : config_(config),
         cm_(config.cost),
         variants_(variants),
         leader_(leader),
+        b_(b),
         V_(variants.size()),
         T_(variants[0].threads.size()),
         selective_(config.mode == LockstepMode::kSelective) {}
+
+  // Same finish-buffer donation protocol as EventScheduler; on a bail the
+  // caller moves the buffer over to the aligned scheduler.
+  void SeedFinish(std::vector<double> spare) {
+    report_.variant_finish_time = std::move(spare);
+  }
+  std::vector<double> TakeFinishBuffer() {
+    return std::move(report_.variant_finish_time);
+  }
 
   // Returns the completed report, or nullopt if the run must be replayed on
   // the aligned scheduler.
   std::optional<SyncReport> Execute();
 
  private:
-  // One variant's walk of the current thread index.
-  struct Walk {
-    const ThreadAction* cur = nullptr;
-    const ThreadAction* end = nullptr;
-    double clock = 0.0;
-    size_t pos = 0;      // sync-relevant syscalls completed
-    bool parked = false;  // at a sync-relevant syscall (else: done)
-  };
-
   // Walks local actions until the next sync-relevant syscall or exit.
   // Returns false on a lock/barrier/detect park: order becomes observable,
   // the caller must bail.
@@ -1039,6 +1340,7 @@ class EagerScheduler {
   const CostModel& cm_;
   const std::vector<VariantTrace>& variants_;
   const LeaderSummary& leader_;
+  detail::EagerBuffers& b_;
   const size_t V_;
   const size_t T_;
   const bool selective_;
@@ -1054,8 +1356,10 @@ std::optional<SyncReport> EagerScheduler::Execute() {
 
   report_.variant_finish_time.assign(V_, 0.0);
 
-  std::vector<double> startup(V_, 0.0);
-  std::vector<double> vscale(V_, 1.0);
+  std::vector<double>& startup = b_.startup;
+  std::vector<double>& vscale = b_.vscale;
+  startup.assign(V_, 0.0);
+  vscale.assign(V_, 1.0);
   for (size_t v = 0; v < V_; ++v) {
     startup[v] = static_cast<double>(variants_[v].pre_main.size()) * cm_.kernel_syscall;
     report_.ignored_syscalls += variants_[v].pre_main.size();
@@ -1068,27 +1372,30 @@ std::optional<SyncReport> EagerScheduler::Execute() {
 
   // Arenas (selective): published slots + follower consume times, sized by
   // the leader pre-pass. cons_time is only read below indices already
-  // written, so it needs no zeroing.
-  std::vector<const sc::SyscallRecord*> pub_rec;
-  std::vector<double> pub_avail;
-  std::vector<uint32_t> pub_consumed;
-  std::unique_ptr<double[]> cons_time;
-  std::vector<size_t> cons_count;
-  GapMerge gap;
+  // written, so it needs no zeroing — stale contents from a previous warm
+  // run are never observed.
+  std::vector<const sc::SyscallRecord*>& pub_rec = b_.pub_rec;
+  std::vector<double>& pub_avail = b_.pub_avail;
+  std::vector<uint32_t>& pub_consumed = b_.pub_consumed;
+  std::vector<double>& cons_time = b_.cons_time;
+  std::vector<size_t>& cons_count = b_.cons_count;
+  GapMerge& gap = b_.gap;
   if (selective_) {
     pub_rec.resize(S);
     pub_avail.resize(S);
     pub_consumed.assign(S, 0);
     if (followers > 0) {
-      cons_time.reset(new double[followers * S]);
+      cons_time.resize(followers * S);
       cons_count.assign(followers * T_, 0);
-      gap.Init(T_, S, followers, pub_base, pub_avail.data(), cons_time.get(),
+      gap.Init(T_, S, followers, pub_base, pub_avail.data(), cons_time.data(),
                cons_count.data());
     }
   }
 
-  std::vector<Walk> walks(V_);
-  std::vector<double> finish(V_, 0.0);
+  std::vector<Walk>& walks = b_.walks;
+  walks.assign(V_, Walk{});
+  std::vector<double>& finish = b_.finish;
+  finish.assign(V_, 0.0);
 
   for (size_t t = 0; t < T_; ++t) {
     for (size_t v = 0; v < V_; ++v) {
@@ -1283,18 +1590,48 @@ std::optional<SyncReport> EagerScheduler::Execute() {
   return std::move(report_);
 }
 
-}  // namespace
+// Shared Run() body for the cold and warm paths: `ws` is either a caller's
+// persistent workspace or a stack-local (cold allocation behavior identical
+// to the pre-workspace code). The finish-buffer spare, if the caller
+// recycled one, donates its capacity to the report's only vector.
+StatusOr<SyncReport> RunScheduled(const EngineConfig& config,
+                                  const std::vector<VariantTrace>& variants,
+                                  EngineWorkspace::Impl& ws) {
+  const size_t n_threads = variants[0].threads.size();
+  SummarizeLeader(variants[0], &ws.leader);
+  const LeaderSummary& leader = ws.leader;
+  std::vector<double> spare = std::move(ws.finish_spare);
+  ws.finish_spare.clear();
+  if (leader.locks == 0 && !leader.has_barrier_or_detect && n_threads > 0) {
+    // Hot path: independent per-thread streams, chained without round
+    // machinery. Bails (rarely: injected attacks, malformed traces) to the
+    // round-aligned scheduler, which owns every incident verdict.
+    EagerScheduler eager(config, variants, leader, ws.eager);
+    eager.SeedFinish(std::move(spare));
+    if (auto report = eager.Execute()) {
+      return std::move(*report);
+    }
+    spare = eager.TakeFinishBuffer();
+  }
+  EventScheduler scheduler(config, variants, leader, ws.event);
+  scheduler.SeedFinish(std::move(spare));
+  return scheduler.Execute();
+}
 
-StatusOr<double> Engine::RunBaseline(const VariantTrace& trace) const {
-  const CostModel& cm = config_.cost;
+StatusOr<double> RunBaselineOn(const CostModel& cm, const VariantTrace& trace,
+                               detail::BaselineBuffers& b) {
   const size_t n_threads = trace.threads.size();
   const double serial = cm.SerializationMultiplier(1, n_threads);
-  std::vector<double> clock(n_threads, 0.0);
-  std::vector<size_t> cursor(n_threads, 0);
-  std::vector<bool> done(n_threads, n_threads == 0);
+  std::vector<double>& clock = b.clock;
+  std::vector<size_t>& cursor = b.cursor;
+  std::vector<char>& done = b.done;
+  clock.assign(n_threads, 0.0);
+  cursor.assign(n_threads, 0);
+  done.assign(n_threads, 0);
   bool aborted = false;   // a sanitizer check fired: the whole process dies
   double abort_time = 0.0;  // the detecting thread's clock at the check
-  std::vector<size_t> at_barrier;  // reused round scratch: zero steady-state allocs
+  std::vector<size_t>& at_barrier = b.at_barrier;  // reused round scratch
+  at_barrier.clear();
   at_barrier.reserve(n_threads);
 
   // Advance all threads, meeting at barriers. Barriers appear in the same
@@ -1381,7 +1718,19 @@ StatusOr<double> Engine::RunBaseline(const VariantTrace& trace) const {
   return finish;
 }
 
-StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) const {
+}  // namespace
+
+StatusOr<double> Engine::RunBaseline(const VariantTrace& trace,
+                                     EngineWorkspace* workspace) const {
+  if (workspace != nullptr) {
+    return RunBaselineOn(config_.cost, trace, workspace->impl().baseline);
+  }
+  detail::BaselineBuffers local;
+  return RunBaselineOn(config_.cost, trace, local);
+}
+
+StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants,
+                                 EngineWorkspace* workspace) const {
   if (variants.empty()) {
     return InvalidArgument("no variants to run");
   }
@@ -1400,18 +1749,11 @@ StatusOr<SyncReport> Engine::Run(const std::vector<VariantTrace>& variants) cons
     // rather than risk silent index corruption.
     return RunReference(variants);
   }
-  const LeaderSummary leader = SummarizeLeader(variants[0]);
-  if (leader.locks == 0 && !leader.has_barrier_or_detect && n_threads > 0) {
-    // Hot path: independent per-thread streams, chained without round
-    // machinery. Bails (rarely: injected attacks, malformed traces) to the
-    // round-aligned scheduler, which owns every incident verdict.
-    EagerScheduler eager(config_, variants, leader);
-    if (auto report = eager.Execute()) {
-      return std::move(*report);
-    }
+  if (workspace != nullptr) {
+    return RunScheduled(config_, variants, workspace->impl());
   }
-  EventScheduler scheduler(config_, variants, leader);
-  return scheduler.Execute();
+  EngineWorkspace::Impl local;
+  return RunScheduled(config_, variants, local);
 }
 
 // The round-based fixpoint scheduler Run() replaced: every progress step

@@ -22,6 +22,7 @@
 #ifndef BUNSHIN_SRC_NXE_ENGINE_H_
 #define BUNSHIN_SRC_NXE_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -134,6 +135,45 @@ struct SyncReport {
   }
 };
 
+// Persistent scheduler state for the warm-run path (docs/warm_path.md). One
+// workspace holds every arena both Run() schedulers and RunBaseline() use —
+// thread records, published-slot/consume-time arenas, readiness indices,
+// batch scratch — behind a pimpl so the scheduler internals stay private to
+// engine.cc. Passing the same workspace to repeated Run() calls makes the
+// steady state allocation-free: every buffer is reset in place (assign on
+// capacity-warm vectors) instead of reconstructed, and values are identical
+// to a fresh run bit for bit (the buffers only donate capacity, never
+// content). A workspace serves one run at a time — concurrent Run() calls
+// must use distinct workspaces (nxe::EnginePool hands out one per checkout).
+class EngineWorkspace {
+ public:
+  EngineWorkspace();
+  ~EngineWorkspace();
+  EngineWorkspace(EngineWorkspace&&) noexcept;
+  EngineWorkspace& operator=(EngineWorkspace&&) noexcept;
+  EngineWorkspace(const EngineWorkspace&) = delete;
+  EngineWorkspace& operator=(const EngineWorkspace&) = delete;
+
+  // Returns a finish-time buffer previously moved out inside a SyncReport
+  // (SyncReport::variant_finish_time). Callers that copy the values out and
+  // recycle the vector here close the last per-run allocation: the next run
+  // seeds its report from this spare capacity.
+  void RecycleFinishBuffer(std::vector<double> buffer);
+
+  // Debug-build stale-state tripwires (no-ops under NDEBUG): Poison() fills
+  // every buffer with a sentinel pattern at pool check-in; VerifyPoison()
+  // confirms the pattern is intact at the next checkout, catching any use of
+  // the workspace through a stale reference while it sat in the pool.
+  void Poison();
+  bool VerifyPoison() const;
+
+  struct Impl;
+  Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 class Engine {
  public:
   explicit Engine(EngineConfig config) : config_(config) {}
@@ -152,7 +192,12 @@ class Engine {
   // counters — every field, bit for bit) is identical to RunReference()'s,
   // enforced by the randomized equivalence suite in
   // tests/engine_property_test.cc.
-  StatusOr<SyncReport> Run(const std::vector<VariantTrace>& variants) const;
+  //
+  // With a workspace, scheduler arenas are borrowed from it instead of
+  // allocated per run (the warm path); results are bit-identical either way,
+  // enforced by the same suite.
+  StatusOr<SyncReport> Run(const std::vector<VariantTrace>& variants,
+                           EngineWorkspace* workspace = nullptr) const;
 
   // The retained round-based reference scheduler (the pre-event-driven
   // Run): a fixpoint loop that re-scans all variants x threads per progress
@@ -165,8 +210,10 @@ class Engine {
   // overhead figures are computed against. A firing sanitizer check aborts
   // the whole standalone run (time-to-abort is returned); a barrier some
   // threads exited before reaching is a malformed trace and errors, exactly
-  // as Run() reports it.
-  StatusOr<double> RunBaseline(const VariantTrace& trace) const;
+  // as Run() reports it. A workspace makes repeat calls allocation-free,
+  // exactly as for Run().
+  StatusOr<double> RunBaseline(const VariantTrace& trace,
+                               EngineWorkspace* workspace = nullptr) const;
 
  private:
   EngineConfig config_;

@@ -1,0 +1,128 @@
+#include "src/nxe/engine_pool.h"
+
+#include <utility>
+
+namespace bunshin {
+namespace nxe {
+
+// One pooled unit: the engine (cheap, flat config) rides along with the
+// expensive part — the plan-sized workspace arenas.
+struct EnginePool::Entry {
+  Entry(std::string k, const EngineConfig& config) : key(std::move(k)), engine(config) {}
+  std::string key;
+  Engine engine;
+  EngineWorkspace workspace;
+};
+
+EnginePool::Checkout::Checkout() = default;
+
+EnginePool::Checkout::Checkout(EnginePool* pool, std::unique_ptr<Entry> entry)
+    : pool_(pool), entry_(std::move(entry)) {}
+
+EnginePool::Checkout::Checkout(Checkout&& other) noexcept
+    : pool_(other.pool_), entry_(std::move(other.entry_)) {
+  other.pool_ = nullptr;
+}
+
+EnginePool::Checkout& EnginePool::Checkout::operator=(Checkout&& other) noexcept {
+  if (this != &other) {
+    if (entry_ != nullptr && pool_ != nullptr) {
+      pool_->Release(std::move(entry_));
+    }
+    pool_ = other.pool_;
+    entry_ = std::move(other.entry_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+EnginePool::Checkout::~Checkout() {
+  if (entry_ != nullptr && pool_ != nullptr) {
+    pool_->Release(std::move(entry_));
+  }
+}
+
+Engine& EnginePool::Checkout::engine() const { return entry_->engine; }
+
+EngineWorkspace& EnginePool::Checkout::workspace() const { return entry_->workspace; }
+
+EnginePool::EnginePool(size_t max_engines_per_key, size_t max_keys)
+    : max_engines_per_key_(max_engines_per_key == 0 ? 1 : max_engines_per_key),
+      max_keys_(max_keys == 0 ? 1 : max_keys) {}
+
+EnginePool::~EnginePool() = default;
+
+EnginePool::Checkout EnginePool::Acquire(const std::string& key, const EngineConfig& config) {
+  std::unique_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (!it->second.entries.empty()) {
+        entry = std::move(it->second.entries.back());
+        it->second.entries.pop_back();
+        ++hits_;
+      }
+    }
+    if (entry == nullptr) {
+      ++misses_;
+    }
+  }
+  if (entry != nullptr) {
+    // Verify outside the lock: the scan is O(arena bytes) in debug builds.
+    if (entry->workspace.VerifyPoison()) {
+      // Re-target the pooled engine at this run's config. EngineConfig is
+      // flat (no heap members), so this never allocates.
+      entry->engine = Engine(config);
+      return Checkout(this, std::move(entry));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++poison_violations_;  // stale use was caught: rebuild rather than trust it
+    entry.reset();
+  }
+  entry = std::make_unique<Entry>(key, config);
+  return Checkout(this, std::move(entry));
+}
+
+void EnginePool::Release(std::unique_ptr<Entry> entry) {
+  entry->workspace.Poison();  // outside the lock, like the verify
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(entry->key);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= max_keys_) {
+      // Evict the least recently used key wholesale: its plan has gone cold.
+      const std::string& victim = lru_.back();
+      auto vit = buckets_.find(victim);
+      discards_ += vit->second.entries.size();
+      buckets_.erase(vit);
+      lru_.pop_back();
+    }
+    lru_.push_front(entry->key);
+    Bucket bucket;
+    bucket.lru_it = lru_.begin();
+    it = buckets_.emplace(entry->key, std::move(bucket)).first;
+  }
+  if (it->second.entries.size() >= max_engines_per_key_) {
+    ++discards_;
+    return;  // entry destroyed: the bucket refilled while we ran
+  }
+  it->second.entries.push_back(std::move(entry));
+}
+
+EnginePool::Stats EnginePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.discards = discards_;
+  s.poison_violations = poison_violations_;
+  s.keys = buckets_.size();
+  for (const auto& kv : buckets_) {
+    s.pooled_engines += kv.second.entries.size();
+  }
+  return s;
+}
+
+}  // namespace nxe
+}  // namespace bunshin

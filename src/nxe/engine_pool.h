@@ -1,0 +1,107 @@
+// Pooled engine state for the warm-run path (docs/warm_path.md).
+//
+// Arena capacities inside an EngineWorkspace are a pure function of the
+// leader trace, and the cached VariantPlan fixes that trace — so engine
+// state pooled under the plan's CacheKey() is fully sized for every future
+// run of that plan. A checkout hands back an Engine (reconfigured in place;
+// EngineConfig is flat and assignment never allocates) plus the plan's
+// capacity-warm EngineWorkspace; running through them is allocation-free in
+// the steady state. Check-in poisons every buffer in debug builds and the
+// next checkout verifies the pattern, so state leaking between runs (a stale
+// reference held across check-in) is caught immediately rather than
+// corrupting a later session.
+//
+// Thread safety: the pool is fully synchronized; a Checkout is exclusively
+// owned and must not be shared across threads.
+#ifndef BUNSHIN_SRC_NXE_ENGINE_POOL_H_
+#define BUNSHIN_SRC_NXE_ENGINE_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nxe/engine.h"
+
+namespace bunshin {
+namespace nxe {
+
+class EnginePool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;    // checkout served from the pool
+    uint64_t misses = 0;  // checkout built fresh state
+    // Check-ins dropped: bucket at capacity, or the key was LRU-evicted.
+    uint64_t discards = 0;
+    // Debug poison tripwire firings (stale pooled state caught and rebuilt).
+    uint64_t poison_violations = 0;
+    size_t pooled_engines = 0;  // idle entries currently in the pool
+    size_t keys = 0;            // distinct plan keys currently pooled
+  };
+
+  struct Entry;
+
+  // RAII checkout: destruction poisons the workspace and returns the entry
+  // to the pool (or discards it if the bucket refilled meanwhile).
+  class Checkout {
+   public:
+    Checkout();  // empty: engine()/workspace() may not be called
+    Checkout(Checkout&& other) noexcept;
+    Checkout& operator=(Checkout&& other) noexcept;
+    Checkout(const Checkout&) = delete;
+    Checkout& operator=(const Checkout&) = delete;
+    ~Checkout();
+
+    Engine& engine() const;
+    EngineWorkspace& workspace() const;
+    explicit operator bool() const { return entry_ != nullptr; }
+
+   private:
+    friend class EnginePool;
+    Checkout(EnginePool* pool, std::unique_ptr<Entry> entry);
+    EnginePool* pool_ = nullptr;
+    std::unique_ptr<Entry> entry_;
+  };
+
+  // `max_engines_per_key` bounds idle entries per plan (concurrent sessions
+  // of one plan beyond it just rebuild on check-out); `max_keys` bounds
+  // distinct plans, evicting the least recently used key's entries.
+  explicit EnginePool(size_t max_engines_per_key = 8, size_t max_keys = 64);
+  ~EnginePool();
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // Checks out engine state for `key` (the plan's CacheKey()). A hit
+  // re-targets the pooled Engine at `config` in place; a miss constructs
+  // fresh state. Never fails: the returned checkout is always usable.
+  Checkout Acquire(const std::string& key, const EngineConfig& config);
+
+  Stats stats() const;
+
+ private:
+  void Release(std::unique_ptr<Entry> entry);
+
+  struct Bucket {
+    std::vector<std::unique_ptr<Entry>> entries;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const size_t max_engines_per_key_;
+  const size_t max_keys_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::list<std::string> lru_;  // front = most recently used key
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t discards_ = 0;
+  uint64_t poison_violations_ = 0;
+};
+
+}  // namespace nxe
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_NXE_ENGINE_POOL_H_

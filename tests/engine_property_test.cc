@@ -220,6 +220,25 @@ TEST(EngineEquivalenceTest, RandomizedTracesMatchReference) {
   EXPECT_GT(errors, 5u);
 }
 
+TEST(EngineEquivalenceTest, PersistentWorkspaceMatchesReference) {
+  // The warm-run path (docs/warm_path.md) reuses one EngineWorkspace across
+  // runs. Threading a single workspace through all 400 heterogeneous cases —
+  // every size transition, outcome class, and scheduler path back to back —
+  // is the strongest stale-state probe: any buffer not fully reinitialized
+  // between runs breaks bit-identity against the stateless reference.
+  nxe::EngineWorkspace workspace;
+  for (uint64_t seed = 1; seed <= 400; ++seed) {
+    RandomCase c = GenerateCase(seed);
+    nxe::Engine engine(c.config);
+    auto got = engine.Run(c.variants, &workspace);
+    auto want = engine.RunReference(c.variants);
+    ASSERT_TRUE(ReportsBitIdentical(got, want))
+        << "seed " << seed << " (" << c.label << ", " << c.variants.size() << " variants, "
+        << c.variants[0].threads.size() << " threads, "
+        << nxe::LockstepModeName(c.config.mode) << ", ring " << c.config.ring_capacity << ")";
+  }
+}
+
 TEST(EngineEquivalenceTest, WorkloadTracesMatchReference) {
   for (const char* name : {"perlbench", "xalancbmk", "barnes", "dedup", "radiosity"}) {
     const auto* spec = workload::FindBenchmark(name);

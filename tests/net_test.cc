@@ -137,7 +137,8 @@ TEST(FrameTest, BadMagicIsDefiniteError) {
 
 TEST(FrameTest, VersionMismatchIsFailedPrecondition) {
   std::string bytes = net::EncodeFrame(Frame{MessageType::kPing, 1, ""});
-  bytes[4] = 2;  // version field (little-endian u16 after the u32 magic)
+  bytes[4] = static_cast<char>(net::kWireVersion + 1);  // version field
+  bytes[5] = 0;  // (little-endian u16 after the u32 magic)
   auto decoded = net::DecodeFrameBuffer(bytes);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);

@@ -20,10 +20,12 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port P] [--workers N] [--plan-cache C]\n"
-               "  --port P        TCP port to listen on (0 = ephemeral; default 0)\n"
-               "  --workers N     thread-pool size (0 = hardware concurrency; default 0)\n"
-               "  --plan-cache C  decoded-plan cache capacity (default 64)\n",
+               "usage: %s [--port P] [--workers N] [--plan-cache C] [--pool-capacity E]\n"
+               "  --port P           TCP port to listen on (0 = ephemeral; default 0)\n"
+               "  --workers N        thread-pool size (0 = hardware concurrency; default 0)\n"
+               "  --plan-cache C     decoded-plan cache capacity (default 64)\n"
+               "  --pool-capacity E  idle engine states pooled per plan for the warm-run\n"
+               "                     path (0 = disable pooling; default 8)\n",
                argv0);
 }
 
@@ -41,6 +43,8 @@ int main(int argc, char** argv) {
       options.n_workers = static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(arg, "--plan-cache") == 0 && has_value) {
       options.plan_cache_capacity = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(arg, "--pool-capacity") == 0 && has_value) {
+      options.engine_pool_capacity = static_cast<size_t>(std::atol(argv[++i]));
     } else {
       Usage(argv[0]);
       return 2;
