@@ -21,6 +21,8 @@ using namespace bunshin;
 
 int main() {
   auto pool = std::make_shared<support::ThreadPool>(4);
+  // Declared before the sessions so it outlives their in-flight submits
+  // (docs/concurrency.md, "Queue lifetime").
   api::CompletionQueue verdicts;
 
   // Steady-state traffic: three clones of an nginx-like server, strict

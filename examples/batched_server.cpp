@@ -29,6 +29,8 @@ using namespace bunshin;
 int main() {
   auto cache = std::make_shared<api::PlanCache>(/*capacity=*/16);
   auto pool = std::make_shared<support::ThreadPool>(4);
+  // Declared before the sessions so it outlives their in-flight submits
+  // (docs/concurrency.md, "Queue lifetime").
   api::CompletionQueue verdicts;
 
   // The build-time observer hook: a dashboard would watch plan reuse here.

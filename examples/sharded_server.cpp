@@ -23,8 +23,11 @@ using namespace bunshin;
 
 int main() {
   // Sized for shard dispatch: >= 2 workers even on a 1-core host (the
-  // nested-dispatch rule in support/thread_pool.h).
+  // nested-dispatch sizing rule, docs/concurrency.md).
   auto pool = std::make_shared<support::ThreadPool>(4, /*min_workers=*/2);
+  // Declared before the sessions: the queue must outlive everything that
+  // submits into it (sessions drain on destruction, so declaration order is
+  // the whole lifetime story — docs/concurrency.md, "Queue lifetime").
   api::CompletionQueue verdicts;
 
   // Steady-state traffic: four clones of an nginx-like server, split into

@@ -1,5 +1,7 @@
 #include "src/api/async.h"
 
+#include <cassert>
+
 namespace bunshin {
 namespace api {
 
@@ -30,36 +32,28 @@ StatusOr<RunReport> AsyncBackend::Run(const RunRequest& request) const {
 // CompletionQueue
 // ---------------------------------------------------------------------------
 
-CompletionEvent CompletionQueue::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !events_.empty(); });
-  CompletionEvent event = std::move(events_.front());
-  events_.pop_front();
-  return event;
+CompletionQueue::~CompletionQueue() {
+  // A registered producer means a session/executor still intends to Push
+  // here; destroying the queue now is a use-after-free waiting for the run
+  // to finish. Loud in debug builds, where the declaration-order bug is
+  // cheap to find (see docs/concurrency.md, "Queue lifetime").
+  assert(registered_producers() == 0 &&
+         "CompletionQueue destroyed with registered producers still pending");
 }
+
+CompletionEvent CompletionQueue::Wait() { return events_.Pop(); }
 
 std::optional<CompletionEvent> CompletionQueue::TryNext() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (events_.empty()) {
+  CompletionEvent event;
+  if (!events_.TryPop(&event)) {
     return std::nullopt;
   }
-  CompletionEvent event = std::move(events_.front());
-  events_.pop_front();
   return event;
 }
 
-size_t CompletionQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
-}
+size_t CompletionQueue::size() const { return events_.size(); }
 
-void CompletionQueue::Push(CompletionEvent event) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    events_.push_back(std::move(event));
-  }
-  cv_.notify_one();
-}
+void CompletionQueue::Push(CompletionEvent event) { events_.Push(std::move(event)); }
 
 // ---------------------------------------------------------------------------
 // RunHandle
@@ -132,6 +126,11 @@ RunHandle AsyncNvxSession::Submit(RunRequest request, CompletionQueue* completio
     std::lock_guard<std::mutex> lock(core_->mu);
     ++core_->outstanding;
   }
+  if (completions != nullptr) {
+    // Registered for the whole submit->push window: a queue destroyed with
+    // producers registered asserts in debug builds (declaration-order bug).
+    completions->AddProducer();
+  }
 
   std::shared_ptr<Core> core = core_;
   std::shared_ptr<RunHandle::State> state = handle.state_;
@@ -144,6 +143,7 @@ RunHandle AsyncNvxSession::Submit(RunRequest request, CompletionQueue* completio
     // (b) once Wait() returns, outstanding() has already dropped.
     if (completions != nullptr) {
       completions->Push(CompletionEvent{token, report});
+      completions->RemoveProducer();
     }
     {
       std::lock_guard<std::mutex> lock(core->mu);

@@ -28,15 +28,16 @@
 #ifndef BUNSHIN_SRC_API_ASYNC_H_
 #define BUNSHIN_SRC_API_ASYNC_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "src/api/nvx.h"
+#include "src/support/lanes.h"
 #include "src/support/thread_pool.h"
 
 namespace bunshin {
@@ -91,16 +92,29 @@ struct CompletionEvent {
 };
 
 // Thread-safe; any number of sessions may push into one queue and any number
-// of threads may drain it. Events come out in the order runs completed. The
+// of threads may drain it. Events are delivered FIFO per pushing thread —
+// one thread's pushes come out in push order whenever pops are serialized —
+// with no ordering across threads (consumers match events by token). The
 // queue must outlive every session still submitting into it.
+//
+// Internally sharded into per-producer lanes (support::LaneQueue) so shard
+// engines completing concurrently never serialize on one mutex; the lane
+// count and per-lane ring capacity are tunable for embedded uses like the
+// per-dispatch queues in ShardedBackend.
 class CompletionQueue {
  public:
   CompletionQueue() = default;
+  CompletionQueue(size_t n_lanes, size_t lane_capacity) : events_(n_lanes, lane_capacity) {}
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
+  // Debug builds abort when producers are still registered: a queue that
+  // dies before its sessions is use-after-free the moment a run completes.
+  ~CompletionQueue();
 
   // Blocks until an event is available.
   CompletionEvent Wait();
+  // Alias of Wait(), matching the blocking-pop naming used elsewhere.
+  CompletionEvent Pop() { return Wait(); }
   // Non-blocking; empty when no run has completed since the last drain.
   std::optional<CompletionEvent> TryNext();
   size_t size() const;
@@ -109,10 +123,18 @@ class CompletionQueue {
   // feed the same queue).
   void Push(CompletionEvent event);
 
+  // Lifetime tracking: submitters register while a push into this queue is
+  // pending and deregister after the push. AsyncNvxSession::Submit and
+  // ShardedBackend do this automatically; custom executors should too.
+  void AddProducer() { producers_.fetch_add(1, std::memory_order_relaxed); }
+  void RemoveProducer() { producers_.fetch_sub(1, std::memory_order_release); }
+  size_t registered_producers() const {
+    return producers_.load(std::memory_order_acquire);
+  }
+
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<CompletionEvent> events_;
+  support::LaneQueue<CompletionEvent> events_;
+  std::atomic<size_t> producers_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -742,6 +742,10 @@ NvxBuilder& NvxBuilder::Shards(size_t k) {
   shards_ = k;
   return *this;
 }
+NvxBuilder& NvxBuilder::Placement(PlacementPolicy policy) {
+  placement_ = policy;
+  return *this;
+}
 NvxBuilder& NvxBuilder::Remote(std::vector<net::Endpoint> endpoints, net::RemoteOptions options) {
   remote_endpoints_ = std::move(endpoints);
   remote_options_ = options;
@@ -867,9 +871,14 @@ std::shared_ptr<support::ThreadPool> NvxBuilder::MakePool(bool always) const {
   // session's pool is clamped to >= 2 workers — even Async(0) on a 1-core
   // host (CI) must not produce a single-worker pool. The dispatcher also
   // claims shards itself, so this is throughput insurance, not a deadlock
-  // precondition (see support/thread_pool.h).
-  return std::make_shared<support::ThreadPool>(async_workers_.value_or(0),
-                                               /*min_workers=*/sharded ? 2 : 1);
+  // precondition (see docs/concurrency.md, "Nested dispatch sizing").
+  support::ThreadPool::Options options;
+  options.n_workers = async_workers_.value_or(0);
+  options.min_workers = sharded ? 2 : 1;
+  // kSpread pins workers one per physical core (topology Detect()ed by the
+  // pool) so the SubmitTo steering in ShardedBackend maps shards to cores.
+  options.pin_threads = sharded && placement_ == PlacementPolicy::kSpread;
+  return std::make_shared<support::ThreadPool>(options);
 }
 
 StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
@@ -928,7 +937,7 @@ StatusOr<std::unique_ptr<Backend>> NvxBuilder::BuildBackend(
         shared, std::move(groups[j]), /*owns_baseline=*/j == 0, engine_pool)));
   }
   return std::unique_ptr<Backend>(new ShardedBackend(std::move(shared), std::move(shard_backends),
-                                                     shard_pool, backend_owns_pool));
+                                                     shard_pool, backend_owns_pool, placement_));
 }
 
 StatusOr<NvxSession> NvxBuilder::Build() const {

@@ -1,6 +1,7 @@
 #include "src/api/shard.h"
 
 #include <atomic>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -23,22 +24,57 @@ namespace api {
 struct ShardedBackend::Dispatch {
   RunRequest request;
   std::vector<const Backend*> shards;
-  // The claim counter is hammered by every helper; keep it off the cache
-  // lines holding the read-mostly request/shard view and the queue's mutex.
-  alignas(64) std::atomic<size_t> next{0};
-  alignas(64) CompletionQueue done;
+  // One claim flag per shard, each on its own cache line: helper h tries
+  // flag h first (its placed shard), then scans — so claiming is a per-shard
+  // exchange, not a shared counter every helper hammers, and placement
+  // becomes an affinity the flags make race-free.
+  struct ClaimFlag {
+    alignas(64) std::atomic<bool> taken{false};
+  };
+  std::unique_ptr<ClaimFlag[]> claims;
+  // Small lane footprint: this queue only ever carries n_shards events per
+  // run, one producer per shard helper.
+  alignas(64) CompletionQueue done{/*n_lanes=*/4, /*lane_capacity=*/16};
   // Dispatcher-only collection scratch, pooled with the block.
   std::vector<std::optional<StatusOr<RunReport>>> by_shard;
   std::vector<PartialReport> partials;
+
+  // Claims start at `hint` (the helper's own shard under kSpread) and wrap;
+  // a helper keeps claiming until every shard is taken, so a busy pool never
+  // strands a shard. Returns immediately when all flags are already set.
+  void ClaimShards(size_t hint) {
+    const size_t n = shards.size();
+    for (;;) {
+      size_t claimed = n;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t s = (hint + i) % n;
+        std::atomic<bool>& flag = claims[s].taken;
+        if (!flag.load(std::memory_order_relaxed) &&
+            !flag.exchange(true, std::memory_order_acquire)) {
+          claimed = s;
+          break;
+        }
+      }
+      if (claimed == n) {
+        return;
+      }
+      done.AddProducer();
+      StatusOr<RunReport> report = shards[claimed]->Run(request);
+      done.Push(CompletionEvent{claimed, std::move(report)});
+      done.RemoveProducer();
+    }
+  }
 };
 
 ShardedBackend::ShardedBackend(std::shared_ptr<const VariantPlan> plan,
                                std::vector<std::unique_ptr<Backend>> shards,
-                               const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool)
+                               const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool,
+                               PlacementPolicy placement)
     : plan_(std::move(plan)),
       shards_(std::move(shards)),
       pool_owner_(owns_pool ? pool : nullptr),
-      pool_(pool.get()) {
+      pool_(pool.get()),
+      placement_(placement) {
   // Snapshot each shard's coverage once: shard_coverage() returns by value,
   // and re-fetching it per run would put an allocation on the warm path.
   coverage_.reserve(shards_.size());
@@ -79,6 +115,7 @@ std::shared_ptr<ShardedBackend::Dispatch> ShardedBackend::TakeDispatch() const {
   for (const auto& shard : shards_) {
     dispatch->shards.push_back(shard.get());
   }
+  dispatch->claims = std::make_unique<Dispatch::ClaimFlag[]>(shards_.size());
   return dispatch;
 }
 
@@ -87,7 +124,9 @@ StatusOr<RunReport> ShardedBackend::Run(const RunRequest& request) const {
 
   std::shared_ptr<Dispatch> dispatch = TakeDispatch();
   dispatch->request = request;  // copy-assign: a warm block keeps capacity
-  dispatch->next.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < n_shards; ++i) {
+    dispatch->claims[i].taken.store(false, std::memory_order_relaxed);
+  }
 
   // Park the block for reuse on every exit path (including shard errors).
   struct DispatchReturn {
@@ -102,21 +141,21 @@ StatusOr<RunReport> ShardedBackend::Run(const RunRequest& request) const {
     }
   } dispatch_return{this, dispatch};
 
-  auto claim_shards = [dispatch] {
-    for (size_t i; (i = dispatch->next.fetch_add(1)) < dispatch->shards.size();) {
-      StatusOr<RunReport> report = dispatch->shards[i]->Run(dispatch->request);
-      dispatch->done.Push(CompletionEvent{i, std::move(report)});
-    }
-  };
   if (pool_ != nullptr) {
     // One helper per extra shard; surplus helpers find nothing to claim.
+    // Under kSpread each helper is steered to pool worker h, whose first
+    // claim attempt is shard h — on a pinned pool, a stable shard->core map.
     for (size_t h = 1; h < n_shards; ++h) {
-      pool_->Submit(claim_shards);
+      if (placement_ == PlacementPolicy::kSpread) {
+        pool_->SubmitTo(h, [dispatch, h] { dispatch->ClaimShards(h); });
+      } else {
+        pool_->Submit([dispatch, h] { dispatch->ClaimShards(h); });
+      }
     }
   }
   // The dispatcher claims too: a sharded run completes even when every pool
   // worker is busy dispatching other sharded runs (or there is no pool).
-  claim_shards();
+  dispatch->ClaimShards(0);
 
   // Collect into shard order so merging (and error reporting) is
   // deterministic regardless of completion order.

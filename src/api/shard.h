@@ -15,6 +15,13 @@
 // completes even on a fully busy (or absent) pool, so wrapping the backend
 // in AsyncBackend / AsyncNvxSession on the same pool cannot deadlock.
 //
+// With PlacementPolicy::kSpread each shard is steered to a fixed pool
+// worker (ThreadPool::SubmitTo) — on a pinned pool that means a fixed
+// physical core, placed by support::Topology::PlacementOrder(). Shards are
+// claimed through per-shard flags: a helper takes its own shard first and
+// only then scans for unclaimed ones, so placement is an affinity, never a
+// liveness constraint — a stalled worker's shard is still stolen.
+//
 //   auto session = api::NvxBuilder()
 //                      .Benchmark(workload::Spec2006()[0])
 //                      .Variants(8)
@@ -51,7 +58,8 @@ class ShardedBackend final : public Backend {
   // composition AsyncNvxSession owns the pool and outlives every run.
   ShardedBackend(std::shared_ptr<const VariantPlan> plan,
                  std::vector<std::unique_ptr<Backend>> shards,
-                 const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool);
+                 const std::shared_ptr<support::ThreadPool>& pool, bool owns_pool,
+                 PlacementPolicy placement = PlacementPolicy::kNone);
   ~ShardedBackend() override;
 
   // Reports keep the execution substrate's identity (e.g. "trace").
@@ -81,6 +89,7 @@ class ShardedBackend final : public Backend {
   std::vector<std::vector<size_t>> coverage_;
   std::shared_ptr<support::ThreadPool> pool_owner_;  // null when not owning
   support::ThreadPool* pool_ = nullptr;              // the usable view
+  PlacementPolicy placement_ = PlacementPolicy::kNone;
 
   // Warm-run freelist of Dispatch blocks. A block is only reusable once
   // every late-waking pool helper has dropped its reference (use_count 1).

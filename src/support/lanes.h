@@ -1,0 +1,241 @@
+// LaneQueue: a blocking MPMC queue sharded into per-producer lanes.
+//
+// The single-mutex queue it replaces made every producer and every consumer
+// serialize on one lock — at 8+ producers (one per shard engine) the lock is
+// the completion path. Here producers are spread across N lanes by a sticky
+// per-thread token; each lane is a bounded lock-free ring (Vyukov MPMC
+// sequence slots, alignas(64)) with a mutex-guarded overflow list behind it,
+// so the common push is one CAS on a lane only sibling producers touch, and
+// a consumer sweep reads each lane's head without taking any lock.
+//
+// Ordering contract: FIFO per producer thread. A thread's pushes come out in
+// push order whenever pops are serialized (single consumer, or consumers
+// externally ordered); there is no ordering across producers. This is
+// exactly the old queue's observable guarantee for its users — completion
+// consumers match events by token, and same-thread push order is the only
+// order a test can assert without cross-thread synchronization.
+//
+// Why FIFO-per-producer survives the overflow path: a producer only bypasses
+// the ring when the ring is full *or* its lane's overflow is non-empty, and
+// it only returns to the ring after observing overflow_size == 0 — a value
+// the consumer publishes only after physically removing the overflow items
+// (under the lane mutex). So a producer's ring items are never younger than
+// its overflow items, and the consumer's ring-before-overflow sweep order
+// within a lane preserves each producer's sequence.
+//
+// Blocking waits are Dekker-paired on two seq_cst atomics (size_, waiters_):
+// a producer bumps size_ then reads waiters_; a registering consumer bumps
+// waiters_ then reads size_. At least one side sees the other, and the
+// consumer holds wait_mu_ from registration through wait(), so a producer's
+// notify can only land while the consumer is actually waiting. The
+// uncontended push path never touches wait_mu_.
+#ifndef BUNSHIN_SRC_SUPPORT_LANES_H_
+#define BUNSHIN_SRC_SUPPORT_LANES_H_
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace bunshin {
+namespace support {
+
+// Sticky small integer identifying the calling thread; lane = token & mask.
+// Process-wide (not per-queue) so a thread keeps its lane across queues.
+inline size_t ThisThreadLaneToken() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t token = next.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+template <typename T>
+class LaneQueue {
+ public:
+  // Both sizes are rounded up to powers of two. lane_capacity bounds the
+  // lock-free ring only — pushes beyond it spill to the overflow list, so
+  // Push never blocks on a slow consumer and never fails.
+  explicit LaneQueue(size_t n_lanes = 8, size_t lane_capacity = 128)
+      : lane_mask_(RoundUpPow2(n_lanes) - 1) {
+    const size_t lanes = lane_mask_ + 1;
+    lanes_ = std::make_unique<Lane[]>(lanes);
+    for (size_t i = 0; i < lanes; ++i) {
+      lanes_[i].ring.Init(RoundUpPow2(lane_capacity));
+    }
+  }
+
+  LaneQueue(const LaneQueue&) = delete;
+  LaneQueue& operator=(const LaneQueue&) = delete;
+
+  size_t n_lanes() const { return lane_mask_ + 1; }
+
+  void Push(T item) {
+    Lane& lane = lanes_[ThisThreadLaneToken() & lane_mask_];
+    // Overflow first when overflow is non-empty: ring items must never be
+    // younger than this producer's overflow items (see file comment).
+    if (lane.overflow_size.load(std::memory_order_acquire) != 0 ||
+        !lane.ring.TryPush(item)) {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      lane.overflow.push_back(std::move(item));
+      lane.overflow_size.store(lane.overflow.size(), std::memory_order_release);
+    }
+    size_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) != 0) {
+      // notify_all, not _one: with several parked consumers, two pushes may
+      // both "wake" the same already-woken consumer and strand the other.
+      { std::lock_guard<std::mutex> lock(wait_mu_); }
+      wait_cv_.notify_all();
+    }
+  }
+
+  // Non-blocking; sweeps lanes from a rotating cursor so no lane starves.
+  bool TryPop(T* out) {
+    const size_t lanes = lane_mask_ + 1;
+    const size_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < lanes; ++i) {
+      Lane& lane = lanes_[(start + i) & lane_mask_];
+      if (lane.ring.TryPop(out)) {
+        size_.fetch_sub(1, std::memory_order_seq_cst);
+        return true;
+      }
+      if (lane.overflow_size.load(std::memory_order_acquire) != 0) {
+        std::lock_guard<std::mutex> lock(lane.mu);
+        if (!lane.overflow.empty()) {
+          *out = std::move(lane.overflow.front());
+          lane.overflow.pop_front();
+          lane.overflow_size.store(lane.overflow.size(), std::memory_order_release);
+          size_.fetch_sub(1, std::memory_order_seq_cst);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Blocks until an item is available.
+  T Pop() {
+    T item;
+    if (TryPop(&item)) {
+      return item;
+    }
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    for (;;) {
+      if (TryPop(&item)) {
+        return item;
+      }
+      waiters_.fetch_add(1, std::memory_order_seq_cst);
+      if (size_.load(std::memory_order_seq_cst) != 0) {
+        // An item exists but another consumer may beat us to it; re-sweep
+        // rather than sleep (Dekker: the producer may have seen waiters_==0).
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      wait_cv_.wait(lock);
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Items pushed but not yet popped. Exact once the queue is quiescent;
+  // during concurrent traffic it is a point-in-time snapshot.
+  size_t size() const { return size_.load(std::memory_order_seq_cst); }
+
+ private:
+  // Vyukov bounded MPMC ring: each slot carries a sequence number that
+  // encodes whether it is free for the (pos)-th push or holds the (pos)-th
+  // item, so producers and consumers synchronize per-slot, not per-queue.
+  struct alignas(64) Slot {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  struct Ring {
+    void Init(size_t capacity) {
+      mask = capacity - 1;
+      slots = std::make_unique<Slot[]>(capacity);
+      for (size_t i = 0; i < capacity; ++i) {
+        slots[i].seq.store(i, std::memory_order_relaxed);
+      }
+    }
+
+    // Moves from `item` only on success.
+    bool TryPush(T& item) {
+      size_t pos = head.load(std::memory_order_relaxed);
+      for (;;) {
+        Slot& slot = slots[pos & mask];
+        const size_t seq = slot.seq.load(std::memory_order_acquire);
+        const intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+        if (dif == 0) {
+          if (head.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+            slot.value = std::move(item);
+            slot.seq.store(pos + 1, std::memory_order_release);
+            return true;
+          }
+        } else if (dif < 0) {
+          return false;  // full
+        } else {
+          pos = head.load(std::memory_order_relaxed);
+        }
+      }
+    }
+
+    bool TryPop(T* out) {
+      size_t pos = tail.load(std::memory_order_relaxed);
+      for (;;) {
+        Slot& slot = slots[pos & mask];
+        const size_t seq = slot.seq.load(std::memory_order_acquire);
+        const intptr_t dif =
+            static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+        if (dif == 0) {
+          if (tail.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+            *out = std::move(slot.value);
+            slot.seq.store(pos + mask + 1, std::memory_order_release);
+            return true;
+          }
+        } else if (dif < 0) {
+          return false;  // empty
+        } else {
+          pos = tail.load(std::memory_order_relaxed);
+        }
+      }
+    }
+
+    std::unique_ptr<Slot[]> slots;
+    size_t mask = 0;
+    alignas(64) std::atomic<size_t> head{0};
+    alignas(64) std::atomic<size_t> tail{0};
+  };
+
+  struct alignas(64) Lane {
+    Ring ring;
+    // Spill list for bursts past the ring capacity. overflow_size mirrors
+    // overflow.size() so producers/consumers can check emptiness lock-free.
+    std::mutex mu;
+    std::deque<T> overflow;
+    std::atomic<size_t> overflow_size{0};
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  size_t lane_mask_;
+  std::unique_ptr<Lane[]> lanes_;
+  std::atomic<size_t> cursor_{0};
+
+  alignas(64) std::atomic<size_t> size_{0};
+  std::atomic<size_t> waiters_{0};
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+};
+
+}  // namespace support
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SUPPORT_LANES_H_

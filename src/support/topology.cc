@@ -1,0 +1,166 @@
+#include "src/support/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace bunshin {
+namespace support {
+
+namespace {
+
+// First integer in `path`, or nullopt when the file is absent/unparsable.
+std::optional<int> ReadIntFile(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return std::nullopt;
+  }
+  int value = 0;
+  const int matched = std::fscanf(file, "%d", &value);
+  std::fclose(file);
+  if (matched != 1) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+// The id of the highest-index (= largest, last-level) cache the CPU reports.
+// Modern kernels expose cache/indexN/id; absent that, the package is the
+// best available cache-group proxy.
+int ProbeLlcGroup(const std::string& cpu_dir, int package) {
+  for (int index = 4; index >= 0; --index) {
+    const std::string cache_dir = cpu_dir + "/cache/index" + std::to_string(index);
+    if (std::optional<int> id = ReadIntFile(cache_dir + "/id")) {
+      // Only unified/data caches group cores meaningfully; level tells us we
+      // found a real entry at all (missing dir -> no id file -> skipped).
+      return *id;
+    }
+  }
+  return package;
+}
+
+}  // namespace
+
+Topology Topology::Detect() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  Topology topology;
+  topology.cpus.reserve(hw);
+  for (unsigned cpu = 0; cpu < hw; ++cpu) {
+    const std::string cpu_dir = "/sys/devices/system/cpu/cpu" + std::to_string(cpu);
+    const std::optional<int> core = ReadIntFile(cpu_dir + "/topology/core_id");
+    if (!core.has_value()) {
+      // No sysfs topology for this CPU: the whole probe degrades to the
+      // portable flat model rather than mixing real and invented ids.
+      return Flat(hw);
+    }
+    Cpu entry;
+    entry.id = static_cast<int>(cpu);
+    entry.package = ReadIntFile(cpu_dir + "/topology/physical_package_id").value_or(0);
+    // core_id is only unique within a package; fold the package in so two
+    // sockets' core 0s stay distinct cores.
+    entry.core = entry.package * 65536 + *core;
+    entry.llc = ProbeLlcGroup(cpu_dir, entry.package);
+    topology.cpus.push_back(entry);
+  }
+  return topology;
+}
+
+Topology Topology::Flat(size_t n_cpus) {
+  Topology topology;
+  topology.cpus.reserve(n_cpus);
+  for (size_t i = 0; i < n_cpus; ++i) {
+    Cpu entry;
+    entry.id = static_cast<int>(i);
+    entry.core = static_cast<int>(i);
+    topology.cpus.push_back(entry);
+  }
+  return topology;
+}
+
+Topology Topology::Fake(size_t packages, size_t cores_per_package, size_t smt,
+                        size_t llc_groups_per_package) {
+  Topology topology;
+  const size_t n_cores = packages * cores_per_package;
+  llc_groups_per_package = std::max<size_t>(1, std::min(llc_groups_per_package, cores_per_package));
+  const size_t cores_per_llc =
+      (cores_per_package + llc_groups_per_package - 1) / llc_groups_per_package;
+  for (size_t sibling = 0; sibling < std::max<size_t>(1, smt); ++sibling) {
+    for (size_t pkg = 0; pkg < packages; ++pkg) {
+      for (size_t core = 0; core < cores_per_package; ++core) {
+        Cpu entry;
+        entry.id = static_cast<int>(sibling * n_cores + pkg * cores_per_package + core);
+        entry.package = static_cast<int>(pkg);
+        entry.core = static_cast<int>(pkg * cores_per_package + core);
+        entry.llc = static_cast<int>(pkg * llc_groups_per_package + core / cores_per_llc);
+        topology.cpus.push_back(entry);
+      }
+    }
+  }
+  return topology;
+}
+
+size_t Topology::n_physical_cores() const {
+  std::vector<int> cores;
+  cores.reserve(cpus.size());
+  for (const Cpu& cpu : cpus) {
+    cores.push_back(cpu.core);
+  }
+  std::sort(cores.begin(), cores.end());
+  return static_cast<size_t>(std::unique(cores.begin(), cores.end()) - cores.begin());
+}
+
+std::vector<int> Topology::PlacementOrder() const {
+  // Group SMT siblings by physical core (CPU-id order within a core: the
+  // lowest id is the core's primary thread).
+  std::map<int, std::vector<int>> by_core;  // core -> sorted cpu ids
+  std::map<int, int> core_llc;              // core -> llc group of its primary
+  for (const Cpu& cpu : cpus) {
+    by_core[cpu.core].push_back(cpu.id);
+  }
+  for (auto& [core, ids] : by_core) {
+    std::sort(ids.begin(), ids.end());
+  }
+  for (const Cpu& cpu : cpus) {
+    if (cpu.id == by_core[cpu.core].front()) {
+      core_llc[cpu.core] = cpu.llc;
+    }
+  }
+
+  // Bucket cores by LLC group (buckets and their cores both in stable id
+  // order), then deal: one core from each bucket in turn, so consecutive
+  // workers land in different cache domains.
+  std::map<int, std::vector<int>> llc_buckets;  // llc -> cores
+  for (const auto& [core, llc] : core_llc) {
+    llc_buckets[llc].push_back(core);
+  }
+  std::vector<int> core_order;
+  core_order.reserve(by_core.size());
+  for (size_t round = 0; core_order.size() < by_core.size(); ++round) {
+    for (const auto& [llc, cores] : llc_buckets) {
+      if (round < cores.size()) {
+        core_order.push_back(cores[round]);
+      }
+    }
+  }
+
+  // Emit sibling rank 0 of every core first, then rank 1, ... — physical
+  // cores fill up before any SMT pair doubles.
+  std::vector<int> order;
+  order.reserve(cpus.size());
+  for (size_t rank = 0; order.size() < cpus.size(); ++rank) {
+    for (int core : core_order) {
+      const std::vector<int>& ids = by_core[core];
+      if (rank < ids.size()) {
+        order.push_back(ids[rank]);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace support
+}  // namespace bunshin

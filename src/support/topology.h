@@ -1,0 +1,66 @@
+// Topology: what the machine's cores actually look like.
+//
+// The concurrency substrate (thread_pool.h, api/shard.h) places work by
+// *physical* core first: two shard engines sharing one SMT pair fight over
+// the same execution units and L1/L2, so a 4-shard session on a
+// 2-core/4-thread host should land on the two physical cores before it
+// doubles up on siblings. This probe reads the kernel's own description of
+// the machine (sysfs) and degrades to a flat one-thread-per-core model on
+// anything that does not expose one, so callers never need a platform
+// #ifdef.
+//
+// Detection is cheap but not free (a few dozen small file reads); callers
+// that place repeatedly should Detect() once and share the value. The
+// seeded fakes (Flat(), Fake()) make placement policy unit-testable without
+// real sysfs — PlacementOrder() is a pure function of the CPU list.
+#ifndef BUNSHIN_SRC_SUPPORT_TOPOLOGY_H_
+#define BUNSHIN_SRC_SUPPORT_TOPOLOGY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bunshin {
+namespace support {
+
+struct Topology {
+  struct Cpu {
+    int id = 0;       // OS CPU number (what a thread can be pinned to)
+    int core = 0;     // physical core; SMT siblings share it
+    int package = 0;  // socket
+    int llc = 0;      // last-level-cache group (cores sharing an L3 slice)
+  };
+  std::vector<Cpu> cpus;
+
+  // Probes /sys/devices/system/cpu; falls back to Flat(hardware_concurrency)
+  // when sysfs is absent or unreadable (non-Linux, sandboxes).
+  static Topology Detect();
+
+  // One package, one LLC group, no SMT: n independent cores. The portable
+  // fallback, and the fake for hosts where placement cannot help.
+  static Topology Flat(size_t n_cpus);
+
+  // Seeded fake for tests: `packages` sockets x `cores_per_package` physical
+  // cores x `smt` hardware threads each, with each package's cores split
+  // evenly into `llc_groups_per_package` cache groups. CPU ids are laid out
+  // the common Linux way: all first siblings (0..n_cores-1), then all second
+  // siblings — so id order and placement order differ, which is the point.
+  static Topology Fake(size_t packages, size_t cores_per_package, size_t smt,
+                       size_t llc_groups_per_package = 1);
+
+  bool empty() const { return cpus.empty(); }
+  size_t n_cpus() const { return cpus.size(); }
+  size_t n_physical_cores() const;
+  bool has_smt() const { return n_cpus() > n_physical_cores(); }
+
+  // CPU ids in the order workers should be placed on them: one CPU per
+  // physical core first — dealt round-robin across LLC groups, so two
+  // workers land in different cache domains before they share one — then
+  // the SMT siblings in the same round-robin order. Every CPU appears
+  // exactly once.
+  std::vector<int> PlacementOrder() const;
+};
+
+}  // namespace support
+}  // namespace bunshin
+
+#endif  // BUNSHIN_SRC_SUPPORT_TOPOLOGY_H_

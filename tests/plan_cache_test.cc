@@ -175,7 +175,8 @@ std::shared_ptr<const VariantPlan> DummyPlan() {
 }
 
 TEST(PlanCacheTest, LruEvictsLeastRecentlyUsed) {
-  PlanCache cache(/*capacity=*/2);
+  // One segment: strict global LRU (striping makes eviction per-segment).
+  PlanCache cache(/*capacity=*/2, /*n_segments=*/1);
   cache.Insert("a", DummyPlan());
   cache.Insert("b", DummyPlan());
   EXPECT_NE(cache.Lookup("a"), nullptr);  // touch a: b becomes LRU
